@@ -1,0 +1,163 @@
+// Command csfarm simulates a data-parallel task farm over a network of
+// borrowable workstations and compares chunking policies end to end —
+// the workload the paper's introduction motivates, at the system level.
+//
+// Usage:
+//
+//	csfarm                                  # defaults: 8 workers, 4000 tasks
+//	csfarm -workers 16 -tasks 20000 -c 2
+//	csfarm -dist bimodal -lo 0.5 -hi 6
+//	csfarm -policies guideline,fixed:25,allatonce
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/lifefn"
+	"repro/internal/nowsim"
+	"repro/internal/rng"
+)
+
+func main() {
+	var (
+		workers  = flag.Int("workers", 8, "number of borrowable workstations")
+		tasks    = flag.Int("tasks", 4000, "number of tasks in the job")
+		overhead = flag.Float64("c", 1, "per-bundle communication overhead")
+		distName = flag.String("dist", "uniform", "task duration distribution: uniform, lognormal, bimodal, pareto")
+		lo       = flag.Float64("lo", 0.5, "min task duration")
+		hi       = flag.Float64("hi", 3, "max task duration")
+		policies = flag.String("policies", "guideline,fixed:25,allatonce", "comma-separated policies: guideline, progressive, fixed:<chunk>, allatonce")
+		seed     = flag.Uint64("seed", 1, "RNG seed")
+		maxTime  = flag.Float64("maxtime", 1e7, "abort horizon")
+	)
+	flag.Parse()
+
+	dist, err := parseDist(*distName)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Heterogeneous office: alternating memoryless and bounded owners,
+	// mixed speeds.
+	lives := make([]lifefn.Life, *workers)
+	speeds := make([]float64, *workers)
+	for i := range lives {
+		var l lifefn.Life
+		var err error
+		if i%2 == 0 {
+			l, err = lifefn.NewGeomDecreasing(math.Pow(2, 1.0/(30+10*float64(i%5))))
+		} else {
+			l, err = lifefn.NewUniform(100 + 50*float64(i%5))
+		}
+		if err != nil {
+			fatal(err)
+		}
+		lives[i] = l
+		speeds[i] = 0.5 + 0.5*float64(i%3)
+	}
+
+	fmt.Printf("%-16s %10s %12s %12s %10s %8s %9s\n",
+		"policy", "makespan", "committed", "lost", "overhead", "effcy%", "episodes")
+	for _, polSpec := range strings.Split(*policies, ",") {
+		polSpec = strings.TrimSpace(polSpec)
+		ws := make([]nowsim.Worker, *workers)
+		for i := range ws {
+			factory, err := policyFactory(polSpec, lives[i], *overhead)
+			if err != nil {
+				fatal(err)
+			}
+			ws[i] = nowsim.Worker{
+				ID:    i,
+				Owner: nowsim.LifeOwner{Life: lives[i]},
+				BusySampler: func(r *rng.Source) float64 {
+					return r.Uniform(10, 40)
+				},
+				PolicyFactory: factory,
+				Speed:         speeds[i],
+			}
+		}
+		pool, err := nowsim.NewWorkload(nowsim.WorkloadSpec{
+			Tasks: *tasks, Dist: dist, Lo: *lo, Hi: *hi, Mu: 0, Sigma: 0.75,
+		}, rng.New(*seed))
+		if err != nil {
+			fatal(err)
+		}
+		res, err := nowsim.RunFarm(nowsim.FarmConfig{
+			Workers:  ws,
+			Overhead: *overhead,
+			Seed:     *seed,
+			MaxTime:  *maxTime,
+		}, pool)
+		if err != nil {
+			fatal(err)
+		}
+		status := ""
+		if !res.Drained {
+			status = " (NOT DRAINED)"
+		}
+		fmt.Printf("%-16s %10.0f %12.0f %12.0f %10.0f %8.1f %9d%s\n",
+			polSpec, res.Makespan, res.CommittedWork, res.LostWork,
+			res.OverheadTime, 100*res.Efficiency(), res.Episodes, status)
+	}
+}
+
+func parseDist(name string) (nowsim.DurationDist, error) {
+	switch name {
+	case "uniform":
+		return nowsim.DistUniform, nil
+	case "lognormal":
+		return nowsim.DistLogNormal, nil
+	case "bimodal":
+		return nowsim.DistBimodal, nil
+	case "pareto":
+		return nowsim.DistParetoCapped, nil
+	default:
+		return 0, fmt.Errorf("csfarm: unknown distribution %q", name)
+	}
+}
+
+func policyFactory(spec string, l lifefn.Life, c float64) (func() nowsim.Policy, error) {
+	switch {
+	case spec == "guideline":
+		pl, err := core.NewPlanner(l, c, core.PlanOptions{})
+		if err != nil {
+			return nil, err
+		}
+		plan, err := pl.PlanBest()
+		if err != nil {
+			return nil, fmt.Errorf("csfarm: planning for %s: %w", l, err)
+		}
+		return func() nowsim.Policy {
+			return nowsim.NewSchedulePolicy(plan.Schedule, "guideline")
+		}, nil
+	case spec == "progressive":
+		return func() nowsim.Policy {
+			p, err := nowsim.NewProgressivePolicy(l, c, core.PlanOptions{ScanPoints: 16})
+			if err != nil {
+				return &nowsim.FixedChunkPolicy{Chunk: 10 * c}
+			}
+			return p
+		}, nil
+	case strings.HasPrefix(spec, "fixed:"):
+		chunk, err := strconv.ParseFloat(strings.TrimPrefix(spec, "fixed:"), 64)
+		if err != nil || !(chunk > 0) {
+			return nil, fmt.Errorf("csfarm: bad fixed chunk in %q", spec)
+		}
+		return func() nowsim.Policy { return &nowsim.FixedChunkPolicy{Chunk: chunk} }, nil
+	case spec == "allatonce":
+		return func() nowsim.Policy { return &nowsim.FixedChunkPolicy{Chunk: 1e6} }, nil
+	default:
+		return nil, fmt.Errorf("csfarm: unknown policy %q", spec)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "csfarm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,174 @@
+// Command csplan computes a guideline cycle-stealing schedule for a
+// named life function and prints the periods, the t0 bracket, the
+// expected work, and the comparison against the [BCLR97] optimum where
+// one is known.
+//
+// Usage:
+//
+//	csplan -life uniform -L 1000 -c 1
+//	csplan -life geomdec -halflife 32 -c 1
+//	csplan -life geominc -L 64 -c 0.5
+//	csplan -life poly -d 3 -L 500 -c 2
+//	csplan -life powerlaw -d 2 -c 1        # existence diagnostics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/core"
+	discretepkg "repro/internal/discrete"
+	"repro/internal/lifefn"
+	"repro/internal/optimal"
+	"repro/internal/sched"
+	"repro/internal/worstcase"
+)
+
+func main() {
+	var (
+		lifeName = flag.String("life", "uniform", "life function: uniform, poly, geomdec, geominc, powerlaw, weibull")
+		lifespan = flag.Float64("L", 1000, "potential lifespan (uniform, poly, geominc)")
+		halfLife = flag.Float64("halflife", 32, "half-life (geomdec)")
+		d        = flag.Float64("d", 2, "exponent (poly, powerlaw) or shape (weibull)")
+		scale    = flag.Float64("scale", 32, "scale (weibull)")
+		c        = flag.Float64("c", 1, "per-period communication overhead")
+		maxShow  = flag.Int("show", 12, "max periods to print")
+		discrete = flag.Bool("discrete", false, "also compute the exact integer-period optimum (DP)")
+		q        = flag.Int("q", 0, "also compute the worst-case optimum for q adversarial interruptions")
+	)
+	flag.Parse()
+
+	life, err := buildLife(*lifeName, *lifespan, *halfLife, *d, *scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	pl, err := core.NewPlanner(life, *c, core.PlanOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	plan, err := pl.PlanBest()
+	if err != nil {
+		fatal(fmt.Errorf("planning failed: %w", err))
+	}
+
+	fmt.Printf("life function : %s (shape: %s)\n", life, life.Shape())
+	fmt.Printf("overhead c    : %g\n", *c)
+	fmt.Printf("t0 bracket    : [%.6g, %.6g]  (Thm 3.2 lower %.6g, Thm 3.3 upper %.6g, Lemma 3.1 upper %.6g)\n",
+		plan.Bracket.Lo, plan.Bracket.Hi,
+		plan.Bracket.Detail.Thm32Lower, plan.Bracket.Detail.Thm33Upper, plan.Bracket.Detail.Lemma31Upper)
+	fmt.Printf("chosen t0     : %.6g\n", plan.T0)
+	fmt.Printf("periods (m=%d): ", plan.Schedule.Len())
+	for i := 0; i < plan.Schedule.Len() && i < *maxShow; i++ {
+		fmt.Printf("%.4g ", plan.Schedule.Period(i))
+	}
+	if plan.Schedule.Len() > *maxShow {
+		fmt.Printf("... (+%d more)", plan.Schedule.Len()-*maxShow)
+	}
+	fmt.Printf("\ntotal duration: %.6g\n", plan.Schedule.Total())
+	fmt.Printf("expected work : %.6g\n", plan.ExpectedWork)
+
+	printOptimalComparison(life, *c, plan)
+	printExistence(life, *c)
+	if *discrete {
+		printDiscrete(life, *c, plan)
+	}
+	if *q > 0 {
+		printWorstCase(life, *c, *q)
+	}
+}
+
+func printDiscrete(life lifefn.Life, c float64, plan core.Plan) {
+	horizon := discretepkg.HorizonFor(life, 1e-9, 1<<16)
+	dp, err := discretepkg.Optimal(life, c, horizon)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csplan: discrete DP:", err)
+		return
+	}
+	rounded, err := discretepkg.RoundSchedule(plan.Schedule, c)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csplan: rounding:", err)
+		return
+	}
+	eRounded := sched.ExpectedWork(rounded, life, c)
+	fmt.Printf("integer DP    : E %.6g with m=%d; rounded guideline E %.6g (loss %.4f%%)\n",
+		dp.ExpectedWork, dp.Schedule.Len(), eRounded,
+		100*(1-eRounded/dp.ExpectedWork))
+}
+
+func printWorstCase(life lifefn.Life, c float64, q int) {
+	horizon := life.Horizon()
+	if math.IsInf(horizon, 1) {
+		fmt.Println("worst-case    : needs a bounded lifespan (skipped)")
+		return
+	}
+	res, err := worstcase.Optimal(horizon, c, q)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csplan: worst case:", err)
+		return
+	}
+	fmt.Printf("worst-case q=%d: guarantee %.6g with m=%d equal periods (closed form %.6g); E under p: %.6g\n",
+		q, res.Guaranteed, res.Periods,
+		worstcase.ClosedFormGuarantee(horizon, c, q),
+		sched.ExpectedWork(res.Schedule, life, c))
+}
+
+func buildLife(name string, lifespan, halfLife, d, scale float64) (lifefn.Life, error) {
+	switch name {
+	case "uniform":
+		return lifefn.NewUniform(lifespan)
+	case "poly":
+		return lifefn.NewPoly(int(d), lifespan)
+	case "geomdec":
+		if !(halfLife > 0) {
+			return nil, fmt.Errorf("csplan: half-life must be positive, got %g", halfLife)
+		}
+		return lifefn.NewGeomDecreasing(math.Pow(2, 1/halfLife))
+	case "geominc":
+		return lifefn.NewGeomIncreasing(lifespan)
+	case "powerlaw":
+		return lifefn.NewPowerLaw(d)
+	case "weibull":
+		return lifefn.NewWeibull(d, scale)
+	default:
+		return nil, fmt.Errorf("csplan: unknown life function %q", name)
+	}
+}
+
+func printOptimalComparison(life lifefn.Life, c float64, plan core.Plan) {
+	var (
+		res optimal.Result
+		err error
+		ok  = true
+	)
+	switch f := life.(type) {
+	case lifefn.Uniform:
+		res, err = optimal.Uniform(f, c)
+	case lifefn.GeomDecreasing:
+		res, err = optimal.GeomDecreasing(f, c, 1e-12, 0)
+	case lifefn.GeomIncreasing:
+		res, err = optimal.GeomIncreasing(f, c)
+	default:
+		ok = false
+	}
+	if !ok || err != nil || !(res.ExpectedWork > 0) {
+		return
+	}
+	fmt.Printf("[BCLR97] opt  : t0 %.6g, E %.6g  (guideline/optimal = %.5f)\n",
+		res.T0, res.ExpectedWork, plan.ExpectedWork/res.ExpectedWork)
+}
+
+func printExistence(life lifefn.Life, c float64) {
+	ad, err := core.AdmitsOptimal(life, c, core.PlanOptions{})
+	if err != nil || ad.Admits {
+		return
+	}
+	fmt.Printf("warning       : no optimal schedule exists (%s); the plan above is best-effort\n", ad.Reason)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "csplan:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,109 @@
+// Command cssim Monte-Carlo-simulates cycle-stealing policies on a
+// scenario and reports committed work, losses and the match against the
+// analytic E(S; p).
+//
+// Usage:
+//
+//	cssim -life uniform -L 1000 -c 1 -episodes 100000
+//	cssim -life geomdec -halflife 32 -c 1 -policy fixed -chunk 10
+//	cssim -life geominc -L 64 -c 1 -policy progressive
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/lifefn"
+	"repro/internal/nowsim"
+	"repro/internal/sched"
+)
+
+func main() {
+	var (
+		lifeName = flag.String("life", "uniform", "life function: uniform, poly, geomdec, geominc")
+		lifespan = flag.Float64("L", 1000, "potential lifespan")
+		halfLife = flag.Float64("halflife", 32, "half-life (geomdec)")
+		d        = flag.Int("d", 2, "exponent (poly)")
+		c        = flag.Float64("c", 1, "per-period communication overhead")
+		policy   = flag.String("policy", "guideline", "policy: guideline, fixed, progressive")
+		chunk    = flag.Float64("chunk", 10, "chunk size (fixed policy)")
+		episodes = flag.Int("episodes", 100000, "number of Monte-Carlo episodes")
+		seed     = flag.Uint64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	life, err := buildLife(*lifeName, *lifespan, *halfLife, *d)
+	if err != nil {
+		fatal(err)
+	}
+
+	var (
+		pol      nowsim.Policy
+		analytic = math.NaN()
+	)
+	switch *policy {
+	case "guideline":
+		pl, err := core.NewPlanner(life, *c, core.PlanOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		plan, err := pl.PlanBest()
+		if err != nil {
+			fatal(err)
+		}
+		pol = nowsim.NewSchedulePolicy(plan.Schedule, "guideline")
+		analytic = plan.ExpectedWork
+	case "fixed":
+		pol = &nowsim.FixedChunkPolicy{Chunk: *chunk}
+	case "progressive":
+		pp, err := nowsim.NewProgressivePolicy(life, *c, core.PlanOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		pol = pp
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+
+	res := nowsim.MonteCarlo(pol, nowsim.LifeOwner{Life: life}, *c, *episodes, *seed)
+	fmt.Printf("scenario      : %s, c=%g, policy=%s, %d episodes (seed %d)\n",
+		life, *c, pol, *episodes, *seed)
+	fmt.Printf("work          : %s\n", res.Work)
+	fmt.Printf("lost          : %s\n", res.Lost)
+	fmt.Printf("periods/eps   : %s\n", res.Periods)
+	fmt.Printf("reclaimed     : %d/%d episodes\n", res.Reclaimed, res.Episodes)
+	if !math.IsNaN(analytic) {
+		z := 0.0
+		if res.Work.StdErr > 0 {
+			z = math.Abs(res.Work.Mean-analytic) / res.Work.StdErr
+		}
+		fmt.Printf("analytic E    : %.6g (z = %.2f)\n", analytic, z)
+	}
+	_ = sched.Schedule{}
+}
+
+func buildLife(name string, lifespan, halfLife float64, d int) (lifefn.Life, error) {
+	switch name {
+	case "uniform":
+		return lifefn.NewUniform(lifespan)
+	case "poly":
+		return lifefn.NewPoly(d, lifespan)
+	case "geomdec":
+		if !(halfLife > 0) {
+			return nil, fmt.Errorf("cssim: half-life must be positive, got %g", halfLife)
+		}
+		return lifefn.NewGeomDecreasing(math.Pow(2, 1/halfLife))
+	case "geominc":
+		return lifefn.NewGeomIncreasing(lifespan)
+	default:
+		return nil, fmt.Errorf("cssim: unknown life function %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cssim:", err)
+	os.Exit(1)
+}

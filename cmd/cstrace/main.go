@@ -1,0 +1,104 @@
+// Command cstrace demonstrates the trace pipeline: it generates a
+// synthetic owner-absence trace with a known ground truth, optionally
+// right-censors it, fits a life function by product-limit estimation
+// plus monotone smoothing, plans on the fit, and reports the fit error
+// and the schedule regret against planning on the truth.
+//
+// Usage:
+//
+//	cstrace -truth uniform -L 200 -sessions 1000 -c 1
+//	cstrace -truth geomdec -halflife 32 -sessions 500 -censor 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/lifefn"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		truthName = flag.String("truth", "uniform", "ground-truth life function: uniform, poly, geomdec, geominc")
+		lifespan  = flag.Float64("L", 200, "potential lifespan")
+		halfLife  = flag.Float64("halflife", 32, "half-life (geomdec)")
+		d         = flag.Int("d", 2, "exponent (poly)")
+		sessions  = flag.Int("sessions", 1000, "number of absence observations")
+		censor    = flag.Float64("censor", 0, "right-censor observations at this duration (0 = none)")
+		knots     = flag.Int("knots", 32, "smoothing knots")
+		c         = flag.Float64("c", 1, "per-period communication overhead")
+		seed      = flag.Uint64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	truth, err := buildLife(*truthName, *lifespan, *halfLife, *d)
+	if err != nil {
+		fatal(err)
+	}
+
+	obs := trace.SampleAbsences(truth, *sessions, rng.New(*seed))
+	if *censor > 0 {
+		obs = trace.CensorAt(obs, *censor)
+	}
+	fit, err := trace.FitLife(obs, trace.FitOptions{Knots: *knots})
+	if err != nil {
+		fatal(fmt.Errorf("fit failed: %w", err))
+	}
+
+	span := trace.EffectiveSpan(truth)
+	ks := trace.KSDistance(fit, truth, span, 400)
+	fmt.Printf("truth          : %s\n", truth)
+	fmt.Printf("trace          : %d sessions (censor %g, knots %d, seed %d)\n", *sessions, *censor, *knots, *seed)
+	fmt.Printf("fitted         : %s (shape %s, horizon %g)\n", fit, fit.Shape(), fit.Horizon())
+	fmt.Printf("KS distance    : %.4f\n", ks)
+
+	truthPlan, err := plan(truth, *c)
+	if err != nil {
+		fatal(fmt.Errorf("planning on truth: %w", err))
+	}
+	fitPlan, err := plan(fit, *c)
+	if err != nil {
+		fatal(fmt.Errorf("planning on fit: %w", err))
+	}
+	eUnderTruth := sched.ExpectedWork(fitPlan.Schedule, truth, *c)
+	fmt.Printf("plan on truth  : t0 %.5g, m %d, E %.6g\n", truthPlan.T0, truthPlan.Schedule.Len(), truthPlan.ExpectedWork)
+	fmt.Printf("plan on fit    : t0 %.5g, m %d, E-under-truth %.6g\n", fitPlan.T0, fitPlan.Schedule.Len(), eUnderTruth)
+	fmt.Printf("regret         : %.3f%%\n", 100*(1-eUnderTruth/truthPlan.ExpectedWork))
+}
+
+func plan(l lifefn.Life, c float64) (core.Plan, error) {
+	pl, err := core.NewPlanner(l, c, core.PlanOptions{})
+	if err != nil {
+		return core.Plan{}, err
+	}
+	return pl.PlanBest()
+}
+
+func buildLife(name string, lifespan, halfLife float64, d int) (lifefn.Life, error) {
+	switch name {
+	case "uniform":
+		return lifefn.NewUniform(lifespan)
+	case "poly":
+		return lifefn.NewPoly(d, lifespan)
+	case "geomdec":
+		if !(halfLife > 0) {
+			return nil, fmt.Errorf("cstrace: half-life must be positive, got %g", halfLife)
+		}
+		return lifefn.NewGeomDecreasing(math.Pow(2, 1/halfLife))
+	case "geominc":
+		return lifefn.NewGeomIncreasing(lifespan)
+	default:
+		return nil, fmt.Errorf("cstrace: unknown life function %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cstrace:", err)
+	os.Exit(1)
+}

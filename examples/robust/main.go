@@ -1,0 +1,77 @@
+// Robust: what if you don't trust the risk model? This example walks
+// the full decision a practitioner faces:
+//
+//  1. plan optimally for the expected case (this paper's guidelines);
+//  2. plan for a bounded adversary (the sequel's worst-case regime);
+//  3. measure what each plan costs under the other criterion — the
+//     price of robustness;
+//  4. check what happens if the assumed life function is simply wrong.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cyclesteal "repro"
+)
+
+func main() {
+	const (
+		lifespan = 600.0 // owner away at most 10 minutes (seconds)
+		overhead = 2.0   // per-chunk setup
+	)
+	life, err := cyclesteal.UniformRisk(lifespan)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Expected-case plan.
+	expected, err := cyclesteal.Plan(life, overhead)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("expected-case plan : %d periods, t0 %.1f, E = %.1f\n",
+		expected.Schedule.Len(), expected.T0, expected.ExpectedWork)
+
+	// 2. Worst-case plans for increasing adversary budgets. Note the
+	// threat model differs: the adversary interrupts q times but the
+	// machine stays available for the whole lifespan, whereas the
+	// expected-case owner departs once and ends the episode — so
+	// guarantees can exceed the single-departure expected work.
+	fmt.Println("\nbounded-adversary guarantees (q strikes destroy q periods):")
+	fmt.Printf("%4s %6s %12s %12s %14s\n", "q", "m", "guarantee", "E(wc plan)", "E sacrificed")
+	for _, q := range []int{1, 2, 4, 8} {
+		wcSched, guarantee, err := cyclesteal.WorstCaseOptimal(lifespan, overhead, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eWc := cyclesteal.ExpectedWork(wcSched, life, overhead)
+		fmt.Printf("%4d %6d %12.1f %12.1f %13.1f%%\n",
+			q, wcSched.Len(), guarantee, eWc,
+			100*(1-eWc/expected.ExpectedWork))
+	}
+
+	// 3. The expected plan's exposure: what does the adversary do to it?
+	fmt.Println("\nexpected-case plan under the adversary:")
+	for _, q := range []int{1, 2, 4, 8} {
+		fmt.Printf("  q=%d: guaranteed %.1f (worst-case plan would guarantee more)\n",
+			q, cyclesteal.GuaranteedWork(expected.Schedule, overhead, q))
+	}
+
+	// 4. Model error: the owner actually follows a 90s half-life.
+	actual, err := cyclesteal.HalfLife(90)
+	if err != nil {
+		log.Fatal(err)
+	}
+	right, err := cyclesteal.Plan(actual, overhead)
+	if err != nil {
+		log.Fatal(err)
+	}
+	misinformed := cyclesteal.ExpectedWork(expected.Schedule, actual, overhead)
+	fmt.Printf("\nif the model is wrong (true risk: 90s half-life):\n")
+	fmt.Printf("  plan-for-uniform under truth: E = %.1f\n", misinformed)
+	fmt.Printf("  plan-for-truth:               E = %.1f (%.1f%% was lost to misspecification)\n",
+		right.ExpectedWork, 100*(1-misinformed/right.ExpectedWork))
+	fmt.Println("\nmoral: fit the life function from traces (see examples/tracefit);")
+	fmt.Println("hedge with worst-case schedules only when owners are truly adversarial.")
+}

@@ -1,0 +1,119 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lifefn"
+	"repro/internal/nowsim"
+	"repro/internal/rng"
+)
+
+// Adaptive must satisfy the simulator's policy interface.
+var _ nowsim.Policy = (*Adaptive)(nil)
+
+func TestAdaptiveDefaultsAndValidation(t *testing.T) {
+	if _, err := NewAdaptive(AdaptiveOptions{}); err == nil {
+		t.Error("zero initial accepted")
+	}
+	a, err := NewAdaptive(AdaptiveOptions{Initial: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Chunk() != 8 {
+		t.Errorf("chunk = %g", a.Chunk())
+	}
+	if got, ok := a.NextPeriod(0); !ok || got != 8 {
+		t.Errorf("NextPeriod = %g, %v", got, ok)
+	}
+}
+
+func TestAdaptiveShrinksOnFirstPeriodLoss(t *testing.T) {
+	a, _ := NewAdaptive(AdaptiveOptions{Initial: 16})
+	a.NextPeriod(0)
+	a.ObserveCommitted(0)
+	a.Reset()
+	if a.Chunk() >= 16 {
+		t.Errorf("chunk %g did not shrink after total loss", a.Chunk())
+	}
+}
+
+func TestAdaptiveGrowsOnCleanEpisode(t *testing.T) {
+	a, _ := NewAdaptive(AdaptiveOptions{Initial: 16})
+	a.NextPeriod(0)
+	a.NextPeriod(16)
+	a.ObserveCommitted(2)
+	a.Reset()
+	if a.Chunk() <= 16 {
+		t.Errorf("chunk %g did not grow after clean episode", a.Chunk())
+	}
+}
+
+func TestAdaptiveClamps(t *testing.T) {
+	a, _ := NewAdaptive(AdaptiveOptions{Initial: 8, Min: 4, Max: 12})
+	for i := 0; i < 50; i++ {
+		a.NextPeriod(0)
+		a.ObserveCommitted(0)
+		a.Reset()
+	}
+	if a.Chunk() < 4 {
+		t.Errorf("chunk %g below min", a.Chunk())
+	}
+	for i := 0; i < 50; i++ {
+		a.NextPeriod(0)
+		a.NextPeriod(0)
+		a.ObserveCommitted(2)
+		a.Reset()
+	}
+	if a.Chunk() > 12 {
+		t.Errorf("chunk %g above max", a.Chunk())
+	}
+}
+
+func TestAdaptiveLearnsAcrossEpisodes(t *testing.T) {
+	// Against a memoryless owner (optimal chunk ≈ c + 1/ln a ≈ 24.1 for
+	// half-life 16, c=1), an adaptive policy started far too large must
+	// come down into a sane band and outperform its own starting point.
+	l, err := lifefn.NewGeomDecreasing(math.Pow(2, 1.0/16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const c = 1.0
+	a, _ := NewAdaptive(AdaptiveOptions{Initial: 200})
+	owner := nowsim.LifeOwner{Life: l}
+	// Pre-draw the reclaim sequence so adaptive and the non-learning
+	// control face identical owners.
+	src := rng.New(99)
+	const episodes = 400
+	reclaims := make([]float64, episodes)
+	for i := range reclaims {
+		reclaims[i] = owner.ReclaimAfter(src)
+	}
+	var adaptiveWork float64
+	for i, r := range reclaims {
+		res := nowsim.RunEpisode(a, c, r)
+		a.ObserveCommitted(res.PeriodsCommitted)
+		// Note: RunEpisode calls Reset at the START of an episode, so
+		// the update uses the previous episode's counters — exactly the
+		// cross-episode learning loop we want.
+		if i >= episodes/2 {
+			adaptiveWork += res.Work
+		}
+	}
+	var fixedWork float64
+	fixed := &nowsim.FixedChunkPolicy{Chunk: 200}
+	for i, r := range reclaims {
+		res := nowsim.RunEpisode(fixed, c, r)
+		if i >= episodes/2 {
+			fixedWork += res.Work
+		}
+	}
+	if adaptiveWork <= fixedWork {
+		t.Errorf("adaptive (%g) did not beat its non-learning start (%g)", adaptiveWork, fixedWork)
+	}
+	// The estimate must have descended from 200 toward the optimal
+	// ≈ c + 1/ln a ≈ 24.1.
+	if a.Chunk() > 100 || a.Chunk() < 2 {
+		t.Errorf("chunk settled at %g, want a sane band around ~24", a.Chunk())
+	}
+}

@@ -1,0 +1,163 @@
+package competitive
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestRatioHandComputed(t *testing.T) {
+	// S = (4, 8), c = 1, over r in [2, 20].
+	// W(r) = 0 for r <= 4, 3 for 4 < r <= 12, 10 for r > 12.
+	// Worst points: r=4 (0/3 = 0)… but rmin=4.5 avoids the zero head:
+	// candidates r=12 (3/11), r=20 (10/19), r=4.5 (3/3.5).
+	s := sched.MustNew(4, 8)
+	rho, err := Ratio(s, 1, 4.5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3.0 / 11
+	if math.Abs(rho-want) > 1e-12 {
+		t.Errorf("ratio = %g, want %g", rho, want)
+	}
+}
+
+func TestRatioZeroBeforeFirstBoundary(t *testing.T) {
+	// If rmin falls before T_0, the adversary kills the first period
+	// and the deterministic ratio is 0.
+	s := sched.MustNew(10)
+	rho, err := Ratio(s, 1, 5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho != 0 {
+		t.Errorf("ratio = %g, want 0", rho)
+	}
+}
+
+func TestRatioRejectsBadArgs(t *testing.T) {
+	s := sched.MustNew(5)
+	if _, err := Ratio(s, 1, 0.5, 10); err == nil {
+		t.Error("rmin <= c accepted")
+	}
+	if _, err := Ratio(s, 1, 5, 4); err == nil {
+		t.Error("horizon <= rmin accepted")
+	}
+	if _, err := Ratio(s, -1, 2, 4); err == nil {
+		t.Error("negative c accepted")
+	}
+}
+
+func TestGeometricRamp(t *testing.T) {
+	s, err := GeometricRamp(2, 2, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2, 4, 8, 16, 32 sum to 62; next (64) would pass 100.
+	want := sched.MustNew(2, 4, 8, 16, 32)
+	if !s.Equal(want, 1e-12) {
+		t.Errorf("ramp = %v", s)
+	}
+	if _, err := GeometricRamp(0.5, 2, 1, 100); err == nil {
+		t.Error("base <= c accepted")
+	}
+	if _, err := GeometricRamp(2, 0.5, 1, 100); err == nil {
+		t.Error("gamma < 1 accepted")
+	}
+}
+
+func TestGeometricRampFlat(t *testing.T) {
+	s, err := GeometricRamp(5, 1, 1, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 4 { // 5+5+5+5 = 20 <= 23; a fifth would pass
+		t.Errorf("flat ramp len = %d: %v", s.Len(), s)
+	}
+}
+
+func TestDoublingBeatsFixedChunkInWorstCase(t *testing.T) {
+	// The motivating fact for [2]-style strategies: with no risk
+	// knowledge, a doubling ramp's worst-case ratio beats any fixed
+	// chunk whose size is wrong for the adversary's r.
+	c, rmin, horizon := 1.0, 8.0, 4096.0
+	ramp, err := GeometricRamp(2, 2, c, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhoRamp, err := Ratio(ramp, c, rmin, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rhoRamp > 0) {
+		t.Fatalf("doubling ramp ratio = %g", rhoRamp)
+	}
+	// A big fixed chunk dies to early reclaims; a small one wastes
+	// overhead at large r but keeps a positive ratio — the ramp must
+	// beat the big chunk badly and be comparable or better overall.
+	bigChunk := sched.MustNew(2048, 2048)
+	rhoBig, err := Ratio(bigChunk, c, rmin, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rhoBig > 0 {
+		t.Errorf("big fixed chunk should be 0-competitive at small r, got %g", rhoBig)
+	}
+}
+
+func TestBestGeometricRamp(t *testing.T) {
+	c, rmin, horizon := 1.0, 4.0, 1024.0
+	ramp, gamma, rho, err := BestGeometricRamp(c, rmin, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ramp.Len() == 0 || !(rho > 0) {
+		t.Fatalf("degenerate best ramp: len=%d rho=%g", ramp.Len(), rho)
+	}
+	if gamma < 1 || gamma > 8 {
+		t.Errorf("gamma = %g outside search range", gamma)
+	}
+	// The optimized ramp must beat the plain doubling ramp's ratio.
+	plain, _ := GeometricRamp(rmin, 2, c, horizon)
+	rhoPlain, _ := Ratio(plain, c, rmin, horizon)
+	if rho < rhoPlain-1e-9 {
+		t.Errorf("optimized ramp %g worse than plain doubling %g", rho, rhoPlain)
+	}
+	if _, _, _, err := BestGeometricRamp(1, 0.5, 10); err == nil {
+		t.Error("rmin <= c accepted")
+	}
+}
+
+func TestRandomizedDoublingConstantCompetitive(t *testing.T) {
+	// The cumulative-work model's headline: phase-randomized doubling
+	// keeps a constant fraction of the offline optimum, independent of
+	// the horizon (contrast with the log barrier of [2]'s
+	// single-commitment model).
+	var ratios []float64
+	for _, horizon := range []float64{256, 4096, 65536} {
+		rho, _, err := RandomizedDoublingRatio(1, 8, horizon, 64, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rho < 0.2 || rho > 0.7 {
+			t.Errorf("H=%g: ratio %g outside the constant-competitive band", horizon, rho)
+		}
+		ratios = append(ratios, rho)
+	}
+	// Flat across 2.5 decades.
+	for i := 1; i < len(ratios); i++ {
+		if math.Abs(ratios[i]-ratios[0]) > 0.05 {
+			t.Errorf("ratio drifts with horizon: %v", ratios)
+		}
+	}
+}
+
+func TestRandomizedDoublingRejectsBadArgs(t *testing.T) {
+	if _, _, err := RandomizedDoublingRatio(1, 8, 100, 0, 10); err == nil {
+		t.Error("zero phases accepted")
+	}
+	if _, _, err := RandomizedDoublingRatio(1, 0.5, 100, 4, 10); err == nil {
+		t.Error("rmin <= c accepted")
+	}
+}

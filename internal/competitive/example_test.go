@@ -1,0 +1,23 @@
+package competitive_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/competitive"
+)
+
+// With no risk model at all, a doubling ramp still banks a constant
+// fraction of whatever an omniscient scheduler could have banked.
+func Example() {
+	ramp, err := competitive.GeometricRamp(2, 2, 1, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rho, err := competitive.Ratio(ramp, 1, 8, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("doubling ramp: %d periods, worst-case ratio %.3f\n", ramp.Len(), rho)
+	// Output: doubling ramp: 11 periods, worst-case ratio 0.308
+}

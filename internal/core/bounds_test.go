@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBracketUniformMatchesPaperBounds(t *testing.T) {
+	// Numerical Thm 3.2 / 3.3 bounds must agree with the explicit
+	// simplification (4.4) up to the simplification's own slack.
+	c, L := 1.0, 1000.0
+	pl := mustPlanner(t, mustUniform(L), c)
+	br, err := pl.T0Bracket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper := UniformT0Bounds(c, L)
+	// Exact Thm 3.2 lower bound for p_{1,L} solves
+	// t = sqrt(c²/4 + c(L-t)) + c/2, slightly below sqrt(cL)+c;
+	// the paper's simplified lower bound sqrt(cL) is within a few %.
+	if math.Abs(br.Detail.Thm32Lower-paper.Lo)/paper.Lo > 0.1 {
+		t.Errorf("Thm32Lower = %g, paper sqrt(cL) = %g", br.Detail.Thm32Lower, paper.Lo)
+	}
+	if br.Detail.Thm33Upper > paper.Hi*1.1 {
+		t.Errorf("Thm33Upper = %g exceeds paper bound %g", br.Detail.Thm33Upper, paper.Hi)
+	}
+	// The known optimum sqrt(2cL) must lie inside the final bracket.
+	opt := math.Sqrt(2 * c * L)
+	if !(br.Lo <= opt && opt <= br.Hi) {
+		t.Errorf("bracket [%g, %g] misses optimal %g", br.Lo, br.Hi, opt)
+	}
+}
+
+func TestBracketGeomDecMatchesPaperBounds(t *testing.T) {
+	a := math.Pow(2, 1.0/32)
+	c := 1.0
+	pl := mustPlanner(t, mustGeomDec(a), c)
+	br, err := pl.T0Bracket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper := GeomDecT0Bounds(a, c)
+	// Lower bound: closed form is exact here (p/p' is constant).
+	if math.Abs(br.Detail.Thm32Lower-paper.Lo)/paper.Lo > 0.02 {
+		t.Errorf("Thm32Lower = %g, paper %g", br.Detail.Thm32Lower, paper.Lo)
+	}
+	// Lemma 3.1 numeric bound should be within a factor ~2 of the
+	// paper's c + 1/ln a (the paper's own derivation is loose in the
+	// same way).
+	if br.Detail.Lemma31Upper < paper.Lo || br.Detail.Lemma31Upper > 3*paper.Hi {
+		t.Errorf("Lemma31Upper = %g vs paper hi %g", br.Detail.Lemma31Upper, paper.Hi)
+	}
+}
+
+func TestBracketWidthModerate(t *testing.T) {
+	// Section 6: the bounds "usually still leave one with a factor-of-2
+	// uncertainty" — so the bracket should be narrow, not vacuous. Allow
+	// up to ~8x to absorb margins across all scenarios.
+	cases := []struct {
+		name string
+		pl   *Planner
+	}{
+		{"uniform", mustPlanner(t, mustUniform(1000), 1)},
+		{"poly3", mustPlanner(t, mustPoly(3, 1000), 1)},
+		{"geomdec", mustPlanner(t, mustGeomDec(math.Pow(2, 1.0/32)), 1)},
+		{"geominc", mustPlanner(t, mustGeomInc(64), 1)},
+	}
+	for _, c := range cases {
+		br, err := c.pl.T0Bracket()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if !(br.Lo < br.Hi) {
+			t.Fatalf("%s: degenerate bracket [%g, %g]", c.name, br.Lo, br.Hi)
+		}
+		if ratio := br.Hi / br.Lo; ratio > 8 {
+			t.Errorf("%s: bracket ratio %g too loose [%g, %g]", c.name, ratio, br.Lo, br.Hi)
+		}
+	}
+}
+
+func TestBracketPolyFamilyContainsScaling(t *testing.T) {
+	// Section 4.1: t0 scales as (c/d)^{1/(d+1)}·L^{d/(d+1)}. The numeric
+	// bracket must contain the paper's simplified bracket midpoint.
+	for _, d := range []int{1, 2, 3, 4, 5} {
+		c, L := 1.0, 1000.0
+		pl := mustPlanner(t, mustPoly(d, L), c)
+		br, err := pl.T0Bracket()
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		paper := PolyT0Bounds(d, c, L)
+		// The paper's bracket is a simplification of the exact Thm
+		// 3.2/3.3 bounds (it uses p <= 1 and drops low-order terms), so
+		// the two brackets need not nest; they must overlap and agree
+		// on the scaling (same order of magnitude).
+		if paper.Hi < br.Lo || paper.Lo > br.Hi {
+			t.Errorf("d=%d: paper bracket [%g, %g] disjoint from numeric [%g, %g]",
+				d, paper.Lo, paper.Hi, br.Lo, br.Hi)
+		}
+		if br.Lo < paper.Lo/4 || br.Hi > paper.Hi*4 {
+			t.Errorf("d=%d: numeric bracket [%g, %g] off-scale vs paper [%g, %g]",
+				d, br.Lo, br.Hi, paper.Lo, paper.Hi)
+		}
+	}
+}
+
+func TestBracketTinyLifespanDegenerates(t *testing.T) {
+	// Lifespan barely above c: bracket must still be valid and ordered.
+	pl := mustPlanner(t, mustUniform(1.5), 1)
+	br, err := pl.T0Bracket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(br.Lo > 1 && br.Lo < br.Hi && br.Hi <= 1.5) {
+		t.Errorf("bracket [%g, %g] invalid for L=1.5, c=1", br.Lo, br.Hi)
+	}
+}
+
+func TestBracketFailsWhenLifespanBelowOverhead(t *testing.T) {
+	pl := mustPlanner(t, mustUniform(0.5), 1)
+	if _, err := pl.T0Bracket(); err == nil {
+		t.Error("bracket computed for L < c")
+	}
+}
+
+func TestCor55LowerActiveForConcave(t *testing.T) {
+	pl := mustPlanner(t, mustPoly(2, 1000), 1)
+	br, err := pl.T0Bracket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(1*1000/2) + 0.75
+	if math.Abs(br.Detail.Cor55Lower-want) > 1e-9 {
+		t.Errorf("Cor55Lower = %g, want %g", br.Detail.Cor55Lower, want)
+	}
+}
+
+func TestCor55AbsentForConvex(t *testing.T) {
+	pl := mustPlanner(t, mustGeomDec(2), 1)
+	br, err := pl.T0Bracket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(br.Detail.Cor55Lower) {
+		t.Errorf("Cor55Lower = %g for convex life function, want NaN", br.Detail.Cor55Lower)
+	}
+}
+
+func TestLowerRHSDegenerateDerivative(t *testing.T) {
+	// Where p' = 0 with p > 0 the bound must degenerate to +Inf, not
+	// produce NaN.
+	pl := mustPlanner(t, mustPoly(3, 100), 1)
+	if v := lowerRHS(pl.life, 1, 0); !math.IsInf(v, 1) {
+		t.Errorf("lowerRHS at p'=0: %g, want +Inf", v)
+	}
+}

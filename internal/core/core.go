@@ -1,0 +1,298 @@
+// Package core implements the scheduling guidelines of Rosenberg,
+// "Guidelines for Data-Parallel Cycle-Stealing in Networks of
+// Workstations, I" (CMPSCI TR 98-15 / IPPS 1998) — the paper's primary
+// contribution.
+//
+// Given a life function p (see internal/lifefn) and the per-period
+// communication overhead c, the guidelines determine a near-optimal
+// cycle-stealing schedule in two steps:
+//
+//  1. Every non-initial period length follows inductively from t_0
+//     through system (3.6): p(T_k) = p(T_{k-1}) + (t_{k-1}-c)·p'(T_{k-1}).
+//     GenerateFrom implements that forward induction for arbitrary
+//     differentiable life functions by numerically inverting p.
+//
+//  2. The initial period length t_0 is bracketed by Theorem 3.2 (lower
+//     bound, any differentiable p) and Theorem 3.3 (upper bounds for
+//     convex and concave p), refined by Corollary 5.5 when the horizon
+//     is finite. T0Bracket computes the bracket; PlanBest searches it
+//     for the t_0 whose generated schedule maximizes expected work.
+//
+// The package also provides the closed-form period recurrences the paper
+// derives for its three Section-4 families, the optimal-schedule
+// existence test of Corollary 3.2, and the structural laws of Section 5
+// (growth rates, period-count bounds, perturbation optimality) as
+// checkable predicates.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/lifefn"
+	"repro/internal/numeric"
+	"repro/internal/sched"
+)
+
+// Common errors returned by the planners.
+var (
+	// ErrBadOverhead reports a nonpositive or non-finite overhead c.
+	ErrBadOverhead = errors.New("core: overhead c must be positive and finite")
+	// ErrBadT0 reports an initial period too short to be productive.
+	ErrBadT0 = errors.New("core: initial period must exceed the overhead c")
+	// ErrNoSchedule reports that no productive schedule exists for the
+	// requested configuration (cf. Corollary 3.2).
+	ErrNoSchedule = errors.New("core: life function admits no productive schedule")
+)
+
+// PlanOptions tunes schedule generation and the t0 search.
+type PlanOptions struct {
+	// MaxPeriods caps the number of generated periods; needed for
+	// unbounded-horizon life functions whose optimal schedules are
+	// infinite (e.g. geometric decreasing). If zero, 10_000 is used.
+	MaxPeriods int
+	// TailEps stops generation once p(T_k) falls below it: the omitted
+	// tail of an infinite schedule then contributes less than
+	// TailEps·t_k per period to expected work. If zero, 1e-12 is used.
+	TailEps float64
+	// ScanPoints is the grid resolution of the t0 search inside the
+	// guideline bracket. If zero, 64 is used.
+	ScanPoints int
+}
+
+func (o PlanOptions) withDefaults() PlanOptions {
+	if o.MaxPeriods <= 0 {
+		o.MaxPeriods = 10_000
+	}
+	if o.TailEps <= 0 {
+		o.TailEps = 1e-12
+	}
+	if o.ScanPoints <= 0 {
+		o.ScanPoints = 64
+	}
+	return o
+}
+
+// Plan is the result of a guideline planning run.
+type Plan struct {
+	// Schedule is the generated schedule in productive normal form.
+	Schedule sched.Schedule
+	// T0 is the initial period length the search settled on.
+	T0 float64
+	// Bracket is the guideline bracket [Lo, Hi] that contained the
+	// search (Theorems 3.2/3.3, Corollary 5.5).
+	Bracket Bracket
+	// ExpectedWork is E(Schedule; p) under the planning life function.
+	ExpectedWork float64
+}
+
+// Planner derives guideline schedules for one (life function, overhead)
+// configuration.
+type Planner struct {
+	life lifefn.Life
+	c    float64
+	opt  PlanOptions
+}
+
+// NewPlanner returns a planner for life function l with per-period
+// overhead c.
+func NewPlanner(l lifefn.Life, c float64, opt PlanOptions) (*Planner, error) {
+	if !(c > 0) || math.IsInf(c, 0) {
+		return nil, fmt.Errorf("%w: got %g", ErrBadOverhead, c)
+	}
+	if l == nil {
+		return nil, errors.New("core: nil life function")
+	}
+	return &Planner{life: l, c: c, opt: opt.withDefaults()}, nil
+}
+
+// Life returns the planner's life function.
+func (pl *Planner) Life() lifefn.Life { return pl.life }
+
+// Overhead returns the planner's communication overhead c.
+func (pl *Planner) Overhead() float64 { return pl.c }
+
+// StopReason records why the forward induction of system (3.6) stopped
+// emitting periods. The distinction matters to the existence decision:
+// a schedule whose generation stopped because the remaining survival
+// probability was negligible (StopTail) has converged, while one whose
+// recurrence died structurally (StopExhausted, StopUnproductive,
+// StopFlat) leaves survival probability unexploited.
+type StopReason int
+
+const (
+	// StopTail: p(T_k) fell below TailEps — the omitted tail is
+	// negligible; the (possibly infinite) schedule has converged.
+	StopTail StopReason = iota
+	// StopExhausted: the recurrence's target survival dropped to zero
+	// or below — the horizon (or the system's feasible range) is used
+	// up.
+	StopExhausted
+	// StopUnproductive: the next prescribed period would not exceed c.
+	StopUnproductive
+	// StopFlat: the derivative vanished while survival remained
+	// positive; the system prescribes nothing further.
+	StopFlat
+	// StopMaxPeriods: the MaxPeriods cap was reached.
+	StopMaxPeriods
+)
+
+// String names the stop reason.
+func (r StopReason) String() string {
+	switch r {
+	case StopTail:
+		return "tail-converged"
+	case StopExhausted:
+		return "target-exhausted"
+	case StopUnproductive:
+		return "next-period-unproductive"
+	case StopFlat:
+		return "derivative-flat"
+	case StopMaxPeriods:
+		return "max-periods"
+	default:
+		return "unknown"
+	}
+}
+
+// Structural reports whether generation died for a structural reason,
+// leaving non-negligible survival probability unexploited, as opposed
+// to converging (StopTail) or being truncated by the cap.
+func (r StopReason) Structural() bool {
+	return r == StopExhausted || r == StopUnproductive || r == StopFlat
+}
+
+// GenerateFrom builds a schedule from the initial period length t0 by
+// the forward induction of Corollary 3.1 (system (3.6)):
+//
+//	p(T_k) = p(T_{k-1}) + (t_{k-1} - c)·p'(T_{k-1}),
+//
+// inverting p numerically at each step. Generation stops when the next
+// period would be unproductive (length <= c; the productive normal form
+// of Proposition 2.1 excludes it), when the target survival drops to
+// zero or below (the horizon is exhausted), when p(T_k) falls below
+// TailEps, or at MaxPeriods.
+func (pl *Planner) GenerateFrom(t0 float64) (sched.Schedule, error) {
+	s, _, err := pl.GenerateTrace(t0)
+	return s, err
+}
+
+// GenerateTrace is GenerateFrom plus the reason generation stopped.
+func (pl *Planner) GenerateTrace(t0 float64) (sched.Schedule, StopReason, error) {
+	if !(t0 > pl.c) {
+		return sched.Schedule{}, StopUnproductive, fmt.Errorf("%w: t0=%g, c=%g", ErrBadT0, t0, pl.c)
+	}
+	horizon := pl.life.Horizon()
+	if !math.IsInf(horizon, 1) && t0 >= horizon {
+		// A first period consuming the whole lifespan commits nothing
+		// (p(T_0) = 0); clamp to the horizon so the caller's search sees
+		// a smooth, zero-valued objective rather than an error.
+		t0 = horizon
+	}
+	periods := []float64{t0}
+	tPrev := t0
+	tk := t0 // running boundary T_{k-1}
+	reason := StopMaxPeriods
+	for len(periods) < pl.opt.MaxPeriods {
+		pPrev := pl.life.P(tk)
+		if pPrev <= pl.opt.TailEps {
+			reason = StopTail
+			break
+		}
+		target := pPrev + (tPrev-pl.c)*pl.life.Deriv(tk)
+		if target <= 0 {
+			reason = StopExhausted
+			break
+		}
+		if target >= pPrev {
+			// p' vanished (flat region): no further productive period
+			// can be prescribed by the system.
+			reason = StopFlat
+			break
+		}
+		next, err := pl.invertP(target, tk)
+		if err != nil {
+			return sched.Schedule{}, reason, fmt.Errorf("core: inverting system (3.6) at period %d: %w", len(periods), err)
+		}
+		t := next - tk
+		if t <= pl.c {
+			reason = StopUnproductive
+			break
+		}
+		periods = append(periods, t)
+		tPrev, tk = t, next
+	}
+	s, err := sched.New(periods...)
+	if err != nil {
+		return sched.Schedule{}, reason, err
+	}
+	return sched.Normalize(s, pl.c), reason, nil
+}
+
+// invertP solves p(T) = target for T > from on the decreasing branch.
+func (pl *Planner) invertP(target, from float64) (float64, error) {
+	horizon := pl.life.Horizon()
+	var hi float64
+	if math.IsInf(horizon, 1) {
+		lo, h, err := numeric.BracketRootGrowing(func(t float64) float64 {
+			return pl.life.P(t) - target
+		}, from, math.Max(pl.c, from*0.5)+1, 1e30)
+		if err != nil {
+			return 0, err
+		}
+		from, hi = lo, h
+		if from == hi {
+			return from, nil
+		}
+	} else {
+		hi = horizon
+	}
+	root, err := numeric.Brent(func(t float64) float64 {
+		return pl.life.P(t) - target
+	}, from, hi, numeric.RootOptions{AbsTol: 1e-13})
+	if err != nil {
+		return 0, err
+	}
+	return root, nil
+}
+
+// ExpectedWork evaluates E(s; p) under the planner's configuration.
+func (pl *Planner) ExpectedWork(s sched.Schedule) float64 {
+	return sched.ExpectedWork(s, pl.life, pl.c)
+}
+
+// PlanBest computes the guideline bracket for t0, searches it for the
+// initial period whose generated schedule maximizes expected work, and
+// returns the resulting plan. It fails with ErrNoSchedule when the life
+// function flunks the existence test of Corollary 3.2 over the bracket's
+// span.
+func (pl *Planner) PlanBest() (Plan, error) {
+	br, err := pl.T0Bracket()
+	if err != nil {
+		return Plan{}, err
+	}
+	objective := func(t0 float64) float64 {
+		s, genErr := pl.GenerateFrom(t0)
+		if genErr != nil {
+			return math.Inf(-1)
+		}
+		return pl.ExpectedWork(s)
+	}
+	t0, _, err := numeric.MaximizeScan(objective, br.Lo, br.Hi, pl.opt.ScanPoints, numeric.MaxOptions{Tol: 1e-10})
+	if err != nil {
+		return Plan{}, fmt.Errorf("core: t0 search failed: %w", err)
+	}
+	s, err := pl.GenerateFrom(t0)
+	if err != nil {
+		return Plan{}, err
+	}
+	e := pl.ExpectedWork(s)
+	if !(e > 0) {
+		if _, ok := ExistsProductive(pl.life, pl.c); !ok {
+			return Plan{}, ErrNoSchedule
+		}
+		return Plan{}, fmt.Errorf("core: search found no productive schedule in bracket [%g, %g]", br.Lo, br.Hi)
+	}
+	return Plan{Schedule: s, T0: t0, Bracket: br, ExpectedWork: e}, nil
+}

@@ -1,0 +1,69 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/lifefn"
+)
+
+// The full guideline pipeline on the paper's uniform-risk scenario:
+// bracket t0 by Theorems 3.2/3.3, search it, generate the rest of the
+// schedule through system (3.6).
+func Example() {
+	life, err := lifefn.NewUniform(1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	planner, err := core.NewPlanner(life, 1, core.PlanOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := planner.PlanBest()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bracket=[%.1f, %.1f] t0=%.2f m=%d E=%.1f\n",
+		plan.Bracket.Lo, plan.Bracket.Hi, plan.T0,
+		plan.Schedule.Len(), plan.ExpectedWork)
+	// Output: bracket=[31.0, 63.5] t0=44.22 m=44 E=470.7
+}
+
+// Forward generation alone: all non-initial periods follow from t0.
+func ExamplePlanner_GenerateFrom() {
+	life, _ := lifefn.NewUniform(100)
+	planner, _ := core.NewPlanner(life, 2, core.PlanOptions{})
+	s, err := planner.GenerateFrom(20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Uniform risk: periods decrease by exactly c (paper eq. 4.1).
+	fmt.Printf("%.0f %.0f %.0f ... (%d periods)\n",
+		s.Period(0), s.Period(1), s.Period(2), s.Len())
+	// Output: 20 18 16 ... (7 periods)
+}
+
+// The Section 4.2 closed forms, no root-finding required.
+func ExampleGeomDecT0Bounds() {
+	bounds := core.GeomDecT0Bounds(2, 1) // a=2: half-life of 1 time unit
+	fmt.Printf("lo=%.3f hi=%.3f\n", bounds.Lo, bounds.Hi)
+	// Output: lo=1.801 hi=2.443
+}
+
+// Progressive (conditional-probability) planning from Section 6.
+func ExampleProgressive() {
+	life, _ := lifefn.NewUniform(100)
+	prog, _ := core.NewProgressive(life, 1, core.PlanOptions{})
+	for i := 0; i < 3; i++ {
+		t, ok, err := prog.NextPeriod()
+		if err != nil || !ok {
+			break
+		}
+		fmt.Printf("period %d: %.2f\n", i, t)
+	}
+	// Output:
+	// period 0: 13.64
+	// period 1: 12.64
+	// period 2: 11.64
+}

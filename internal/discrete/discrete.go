@@ -1,0 +1,150 @@
+// Package discrete answers the paper's closing open question — "Can one
+// show that our continuous guidelines yield valuable discrete
+// analogues?" — computationally. The original problem is discrete:
+// periods are whole numbers of time quanta. This package computes the
+// exactly optimal integer-period schedule by dynamic programming and
+// provides the natural discretization of a continuous guideline
+// schedule, so the two can be compared (experiment E12).
+//
+// The DP exploits the episode structure: once a period ends at integer
+// time τ with the owner still away, the optimal continuation depends
+// only on τ. With V(τ) = the maximum additional expected work given
+// survival to τ (normalized by p(τ)),
+//
+//	V(τ) = max(0, max_{t ≥ 1} [ (t ⊖ c)·p(τ+t) + p(τ+t)·V(τ+t) ] / p(τ))
+//
+// and the optimal schedule reads off the argmaxes from τ = 0. For
+// bounded horizons the table has L+1 entries and O(L²) transitions; for
+// unbounded horizons the caller supplies a cutoff beyond which the
+// remaining value is negligible.
+package discrete
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/lifefn"
+	"repro/internal/sched"
+)
+
+// ErrBadHorizon reports an unusable time horizon.
+var ErrBadHorizon = errors.New("discrete: horizon must be a positive whole number of quanta")
+
+// Result is an exactly optimal integer-period schedule.
+type Result struct {
+	// Schedule has integer period lengths (as float64s).
+	Schedule sched.Schedule
+	// ExpectedWork is E(Schedule; p) computed by the DP (and equal to
+	// sched.ExpectedWork up to rounding).
+	ExpectedWork float64
+}
+
+// Optimal computes the optimal integer-period schedule for life
+// function l with integer overhead quantum cost c (c may be fractional;
+// periods are integers). horizon is the last integer time considered —
+// for bounded life functions pass ceil of the lifespan; for unbounded
+// ones pass a time by which p is negligible.
+func Optimal(l lifefn.Life, c float64, horizon int) (Result, error) {
+	if horizon < 1 {
+		return Result{}, fmt.Errorf("%w: got %d", ErrBadHorizon, horizon)
+	}
+	if !(c >= 0) {
+		return Result{}, fmt.Errorf("discrete: negative overhead %g", c)
+	}
+	// p[τ] cached at integer times.
+	p := make([]float64, horizon+1)
+	for tau := 0; tau <= horizon; tau++ {
+		p[tau] = l.P(float64(tau))
+	}
+	// value[τ] = maximum additional *unconditional* expected work
+	// contributed by periods starting at τ (i.e. Σ (t_i ⊖ c)p(T_i) over
+	// the remaining periods), NOT normalized by p(τ). Zero beyond the
+	// horizon.
+	value := make([]float64, horizon+2)
+	choice := make([]int, horizon+1) // optimal next period length at τ; 0 = stop
+	for tau := horizon; tau >= 0; tau-- {
+		best := 0.0
+		bestT := 0
+		if p[tau] > 0 {
+			for t := 1; tau+t <= horizon; t++ {
+				w := float64(t) - c
+				if w < 0 {
+					w = 0
+				}
+				v := w*p[tau+t] + value[tau+t]
+				if v > best+1e-15 {
+					best, bestT = v, t
+				}
+			}
+		}
+		value[tau] = best
+		choice[tau] = bestT
+	}
+	// Read off the schedule.
+	var periods []float64
+	for tau := 0; tau <= horizon; {
+		t := choice[tau]
+		if t == 0 {
+			break
+		}
+		periods = append(periods, float64(t))
+		tau += t
+	}
+	s, err := sched.New(periods...)
+	if err != nil {
+		if len(periods) == 0 {
+			return Result{Schedule: sched.Schedule{}, ExpectedWork: 0}, nil
+		}
+		return Result{}, err
+	}
+	return Result{Schedule: sched.Normalize(s, c), ExpectedWork: value[0]}, nil
+}
+
+// RoundSchedule is the natural discrete analogue of a continuous
+// schedule: each period is rounded to the nearest positive integer, and
+// the result is put in productive normal form. The rounding never
+// changes a boundary by more than m/2 quanta in total.
+func RoundSchedule(s sched.Schedule, c float64) (sched.Schedule, error) {
+	periods := make([]float64, 0, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		t := math.Round(s.Period(i))
+		if t < 1 {
+			t = 1
+		}
+		periods = append(periods, t)
+	}
+	if len(periods) == 0 {
+		return sched.Schedule{}, nil
+	}
+	out, err := sched.New(periods...)
+	if err != nil {
+		return sched.Schedule{}, err
+	}
+	return sched.Normalize(out, c), nil
+}
+
+// HorizonFor suggests a DP horizon for a life function: its lifespan
+// rounded up when bounded, else the first integer time with
+// p < tailEps (capped at maxHorizon).
+func HorizonFor(l lifefn.Life, tailEps float64, maxHorizon int) int {
+	if tailEps <= 0 {
+		tailEps = 1e-9
+	}
+	if maxHorizon <= 0 {
+		maxHorizon = 1 << 20
+	}
+	if h := l.Horizon(); !math.IsInf(h, 1) {
+		n := int(math.Ceil(h))
+		if n > maxHorizon {
+			return maxHorizon
+		}
+		return n
+	}
+	for n := 1; n <= maxHorizon; n *= 2 {
+		if l.P(float64(n)) < tailEps {
+			return n
+		}
+	}
+	return maxHorizon
+}

@@ -1,0 +1,170 @@
+package discrete
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lifefn"
+	"repro/internal/sched"
+)
+
+func TestOptimalUniformSmallExhaustive(t *testing.T) {
+	// L=6, c=1: small enough to enumerate all integer compositions by
+	// hand-rolled recursion and verify the DP is exact.
+	l, _ := lifefn.NewUniform(6)
+	c := 1.0
+	res, err := Optimal(l, c, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0.0
+	var rec func(prefix []float64, total float64)
+	rec = func(prefix []float64, total float64) {
+		if len(prefix) > 0 {
+			s, err := sched.New(prefix...)
+			if err == nil {
+				if e := sched.ExpectedWork(s, l, c); e > best {
+					best = e
+				}
+			}
+		}
+		for t := 1.0; total+t <= 6; t++ {
+			rec(append(prefix, t), total+t)
+		}
+	}
+	rec(nil, 0)
+	if math.Abs(res.ExpectedWork-best) > 1e-9 {
+		t.Errorf("DP E = %g, exhaustive best = %g", res.ExpectedWork, best)
+	}
+}
+
+func TestOptimalMatchesExpectedWork(t *testing.T) {
+	l, _ := lifefn.NewUniform(100)
+	res, err := Optimal(l, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := sched.ExpectedWork(res.Schedule, l, 1)
+	if math.Abs(direct-res.ExpectedWork) > 1e-9 {
+		t.Errorf("DP value %g != direct E %g", res.ExpectedWork, direct)
+	}
+}
+
+func TestOptimalUniformNearContinuous(t *testing.T) {
+	// The integer optimum must be sandwiched between the rounded
+	// continuous guideline and the continuous optimum.
+	l, _ := lifefn.NewUniform(500)
+	c := 1.0
+	res, err := Optimal(l, c, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, _ := core.NewPlanner(l, c, core.PlanOptions{})
+	plan, err := pl.PlanBest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounded, err := RoundSchedule(plan.Schedule, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eRounded := sched.ExpectedWork(rounded, l, c)
+	if res.ExpectedWork < eRounded-1e-9 {
+		t.Errorf("integer DP %g below rounded guideline %g", res.ExpectedWork, eRounded)
+	}
+	if res.ExpectedWork > plan.ExpectedWork+0.5 {
+		t.Errorf("integer DP %g implausibly above continuous optimum %g", res.ExpectedWork, plan.ExpectedWork)
+	}
+	// The paper's open question, answered affirmatively: rounding the
+	// continuous guideline loses almost nothing vs the exact integer
+	// optimum.
+	if eRounded < res.ExpectedWork*0.999 {
+		t.Errorf("rounded guideline %g loses > 0.1%% vs DP %g", eRounded, res.ExpectedWork)
+	}
+}
+
+func TestOptimalGrowthLawHoldsDiscretely(t *testing.T) {
+	// Theorem 5.2's concave law t_{i+1} <= t_i - c should hold for the
+	// integer optimum too (up to integer slack of 1 quantum).
+	l, _ := lifefn.NewUniform(200)
+	res, err := Optimal(l, 1, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Schedule
+	for i := 0; i+2 < s.Len(); i++ {
+		if s.Period(i+1) > s.Period(i)-1+1+1e-9 { // t_{i+1} <= t_i - c + 1 quantum slack
+			t.Errorf("discrete growth law violated at %d: %g -> %g", i, s.Period(i), s.Period(i+1))
+		}
+	}
+}
+
+func TestOptimalDegenerate(t *testing.T) {
+	l, _ := lifefn.NewUniform(3)
+	res, err := Optimal(l, 5, 3) // overhead dwarfs horizon
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExpectedWork != 0 || res.Schedule.Len() != 0 {
+		t.Errorf("expected empty result, got %+v", res)
+	}
+	if _, err := Optimal(l, 1, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := Optimal(l, -1, 5); err == nil {
+		t.Error("negative overhead accepted")
+	}
+}
+
+func TestRoundSchedule(t *testing.T) {
+	s := sched.MustNew(4.4, 3.6, 0.3)
+	r, err := RoundSchedule(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4.4→4, 3.6→4, 0.3→1 (≤ c, merged/dropped by normal form).
+	want := sched.MustNew(4, 4)
+	if !r.Equal(want, 1e-12) {
+		t.Errorf("rounded = %v, want %v", r, want)
+	}
+}
+
+func TestHorizonFor(t *testing.T) {
+	u, _ := lifefn.NewUniform(99.5)
+	if h := HorizonFor(u, 0, 0); h != 100 {
+		t.Errorf("bounded horizon = %d, want 100", h)
+	}
+	g, _ := lifefn.NewGeomDecreasing(math.Pow(2, 1.0/8))
+	h := HorizonFor(g, 1e-9, 0)
+	if g.P(float64(h)) >= 1e-9 {
+		t.Errorf("unbounded horizon %d not deep enough", h)
+	}
+	if capped := HorizonFor(g, 1e-300, 64); capped != 64 {
+		t.Errorf("cap ignored: %d", capped)
+	}
+}
+
+func TestOptimalGeomIncreasing(t *testing.T) {
+	l, _ := lifefn.NewGeomIncreasing(32)
+	res, err := Optimal(l, 1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.ExpectedWork > 0) {
+		t.Fatal("no work")
+	}
+	// Against the continuous plan: the integer optimum can differ only
+	// by the quantization loss, which is small at this scale.
+	pl, _ := core.NewPlanner(l, 1, core.PlanOptions{})
+	plan, err := pl.PlanBest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExpectedWork > plan.ExpectedWork+1e-9 {
+		t.Errorf("integer DP %g beats continuous optimum %g", res.ExpectedWork, plan.ExpectedWork)
+	}
+	if res.ExpectedWork < 0.97*plan.ExpectedWork {
+		t.Errorf("integer DP %g far below continuous %g", res.ExpectedWork, plan.ExpectedWork)
+	}
+}

@@ -1,0 +1,24 @@
+package discrete_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/discrete"
+	"repro/internal/lifefn"
+)
+
+// The paper's "discrete analogue" open question in ten lines: the exact
+// integer-period optimum via dynamic programming.
+func Example() {
+	life, err := lifefn.NewUniform(40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := discrete.Optimal(life, 1, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("periods=%v E=%.4f\n", res.Schedule.Periods(), res.ExpectedWork)
+	// Output: periods=[8 7 6 5 4 4 3 2] E=14.5000
+}

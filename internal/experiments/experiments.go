@@ -1,0 +1,80 @@
+// Package experiments regenerates every evaluation artifact of the
+// paper (the Section 4 scenario comparisons and the Section 5
+// structural claims), as identified E1–E11 in DESIGN.md. Each
+// experiment returns a report.Table so that cmd/csbench, the test
+// suite, the benchmarks and EXPERIMENTS.md all share one source of
+// truth.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/report"
+)
+
+// Experiment is one reproducible evaluation artifact.
+type Experiment struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "E1").
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Source cites the paper section the experiment reproduces.
+	Source string
+	// Run produces the table. Implementations are deterministic.
+	Run func() (*report.Table, error)
+}
+
+// All returns every experiment in id order.
+func All() []Experiment {
+	exps := []Experiment{
+		{ID: "E1", Title: "Uniform risk: guideline vs optimal (d=1)", Source: "§4.1, eqs. (4.1), (4.4), (4.5)", Run: RunE1},
+		{ID: "E2", Title: "Polynomial family p_{d,L}: t0 scaling and E ratios", Source: "§4.1, eqs. (4.2), (4.3)", Run: RunE2},
+		{ID: "E3", Title: "Geometrically decreasing lifespan: bounds and greedy optimality", Source: "§4.2, eq. (4.6); §6", Run: RunE3},
+		{ID: "E4", Title: "Geometrically increasing risk: guideline vs [BCLR97] recurrence", Source: "§4.3, eq. (4.7)", Run: RunE4},
+		{ID: "E5", Title: "Structural laws of optimal schedules", Source: "Thm 5.2, Cors 5.1–5.4", Run: RunE5},
+		{ID: "E6", Title: "Monte-Carlo validation of E(S;p)", Source: "eq. (2.1)", Run: RunE6},
+		{ID: "E7", Title: "Policy sweep: who wins at which overhead", Source: "§1 motivation, §6 greedy", Run: RunE7},
+		{ID: "E8", Title: "Existence of optimal schedules (power-law family)", Source: "Cor 3.2", Run: RunE8},
+		{ID: "E9", Title: "Checkpointing application (scheduling saves)", Source: "§1 Remark / [7]", Run: RunE9},
+		{ID: "E10", Title: "Trace-fitted life functions: fit error and schedule regret", Source: "§1, §6 (conditional probabilities)", Run: RunE10},
+		{ID: "E11", Title: "Local optimality under perturbations", Source: "Thm 5.1", Run: RunE11},
+		{ID: "E12", Title: "Discrete analogue: integer DP vs rounded guideline", Source: "§6 open question", Run: RunE12},
+		{ID: "E13", Title: "Worst-case competitive ratios (risk-oblivious)", Source: "§1 sequel teaser; related work [2]", Run: RunE13},
+		{ID: "E14", Title: "Multimodal mixture life functions", Source: "§2 model scope (shape-free results)", Run: RunE14},
+		{ID: "E15", Title: "Task granularity vs the fluid model", Source: "§2 task-duration assumption", Run: RunE15},
+		{ID: "E16", Title: "Ablation: planner design choices", Source: "implementation (DESIGN.md §5)", Run: RunE16},
+		{ID: "E17", Title: "Uniqueness probe: local maxima of E(t0)", Source: "§6 open question", Run: RunE17},
+		{ID: "E18", Title: "Misspecification matrix", Source: "§1/§6 approximate-knowledge claim", Run: RunE18},
+		{ID: "E19", Title: "Worst-case vs expected optimality (sequel preview)", Source: "§1 sequel teaser; [BCLR97] adversarial half", Run: RunE19},
+		{ID: "E20", Title: "Heterogeneous farm end to end", Source: "§1 motivation", Run: RunE20},
+		{ID: "E21", Title: "Model-free adaptive chunking: learning curve", Source: "§6 (beyond: no-knowledge regime)", Run: RunE21},
+		{ID: "E22", Title: "Robust planning on Greenwood bands", Source: "§1 approximate knowledge (robust variant)", Run: RunE22},
+	}
+	sort.Slice(exps, func(i, j int) bool { return lessID(exps[i].ID, exps[j].ID) })
+	return exps
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+func lessID(a, b string) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	return a < b
+}
+
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE2GuidelineNearGroundTruth(t *testing.T) {
+	tbl, err := RunE2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratioCol := colIndex(t, tbl.Columns, "E.ratio")
+	for _, row := range tbl.Rows {
+		r := parseF(t, row[ratioCol])
+		// The guideline may slightly beat the heuristic ground truth;
+		// it must never fall behind materially.
+		if r < 0.995 || r > 1.05 {
+			t.Errorf("E ratio %g outside [0.995, 1.05] in row %v", r, row)
+		}
+	}
+}
+
+func TestE6SimulatorValidated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-episode validation skipped in -short mode")
+	}
+	tbl, err := RunE6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	zCol := colIndex(t, tbl.Columns, "z")
+	pCol := colIndex(t, tbl.Columns, "chi2.p")
+	for _, row := range tbl.Rows {
+		if z := parseF(t, row[zCol]); z > 4.5 {
+			t.Errorf("mean validation z = %g in row %v", z, row)
+		}
+		if p := parseF(t, row[pCol]); p < 1e-4 {
+			t.Errorf("distribution validation p = %g in row %v", p, row)
+		}
+	}
+}
+
+func TestE7GuidelineDominates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("policy sweep skipped in -short mode")
+	}
+	tbl, err := RunE7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gCol := colIndex(t, tbl.Columns, "guideline")
+	aCol := colIndex(t, tbl.Columns, "allAtOnce")
+	for _, row := range tbl.Rows {
+		if row[gCol] == "-" {
+			continue
+		}
+		if g := parseF(t, row[gCol]); g < 0.99 {
+			t.Errorf("guideline at %s of optimal in row %v", row[gCol], row)
+		}
+		if row[aCol] != "-" {
+			if a := parseF(t, row[aCol]); a > 0.2 {
+				t.Errorf("all-at-once suspiciously good (%g) in row %v", a, row)
+			}
+		}
+	}
+}
+
+func TestE9GuidelineBeatsBadFixed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("checkpoint Monte-Carlo skipped in -short mode")
+	}
+	tbl, err := RunE9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	polCol := colIndex(t, tbl.Columns, "policy")
+	mkCol := colIndex(t, tbl.Columns, "makespan.mean")
+	failCol := colIndex(t, tbl.Columns, "failure")
+	best := map[string]float64{}
+	worstFixed := map[string]float64{}
+	for _, row := range tbl.Rows {
+		mk := parseF(t, row[mkCol])
+		key := row[failCol]
+		switch {
+		case row[polCol] == "guideline":
+			best[key] = mk
+		case strings.HasPrefix(row[polCol], "fixed(rare") || strings.HasPrefix(row[polCol], "fixed(frantic"):
+			if mk > worstFixed[key] {
+				worstFixed[key] = mk
+			}
+		}
+	}
+	for key, g := range best {
+		if w, ok := worstFixed[key]; !ok || g >= w {
+			t.Errorf("%s: guideline makespan %g not better than bad fixed %g", key, g, w)
+		}
+	}
+}
+
+func TestE10RegretShrinksWithTrace(t *testing.T) {
+	tbl, err := RunE10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nCol := colIndex(t, tbl.Columns, "sessions")
+	rCol := colIndex(t, tbl.Columns, "regret.km%")
+	// Within each truth block, the largest-n regret must be below the
+	// smallest-n regret (monotonicity up to noise is too strict).
+	type pair struct{ small, large float64 }
+	blocks := map[string]*pair{}
+	tCol := colIndex(t, tbl.Columns, "truth")
+	for _, row := range tbl.Rows {
+		b, ok := blocks[row[tCol]]
+		if !ok {
+			b = &pair{}
+			blocks[row[tCol]] = b
+		}
+		n := parseF(t, row[nCol])
+		r := parseF(t, row[rCol])
+		if n == 50 {
+			b.small = r
+		}
+		if n == 5000 {
+			b.large = r
+		}
+	}
+	for truth, b := range blocks {
+		if b.large >= b.small {
+			t.Errorf("%s: regret did not shrink from n=50 (%g%%) to n=5000 (%g%%)", truth, b.small, b.large)
+		}
+	}
+}
+
+func TestE16ReferenceQuality(t *testing.T) {
+	tbl, err := RunE16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rCol := colIndex(t, tbl.Columns, "E.ratio")
+	for _, row := range tbl.Rows {
+		if r := parseF(t, row[rCol]); r < 0.999 || r > 1.001 {
+			t.Errorf("variant quality %g drifted from reference in row %v", r, row)
+		}
+	}
+}
+
+func TestE19ClosedFormAgreement(t *testing.T) {
+	tbl, err := RunE19()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gCol := colIndex(t, tbl.Columns, "G.optimal")
+	cfCol := colIndex(t, tbl.Columns, "G.closedForm")
+	costCol := colIndex(t, tbl.Columns, "robustnessCost%")
+	for _, row := range tbl.Rows {
+		g, cf := parseF(t, row[gCol]), parseF(t, row[cfCol])
+		if abs(g-cf) > 0.01*cf {
+			t.Errorf("integer optimum %g vs closed form %g in row %v", g, cf, row)
+		}
+		if cost := parseF(t, row[costCol]); cost < 0 || cost > 20 {
+			t.Errorf("robustness cost %g%% implausible in row %v", cost, row)
+		}
+	}
+}
+
+func TestE21AdaptiveApproachesOracle(t *testing.T) {
+	tbl, err := RunE21()
+	if err != nil {
+		t.Fatal(err)
+	}
+	polCol := colIndex(t, tbl.Columns, "policy")
+	totCol := colIndex(t, tbl.Columns, "total")
+	ownCol := colIndex(t, tbl.Columns, "owner")
+	oracle := map[string]float64{}
+	adaptive := map[string]float64{}
+	frozen := map[string]float64{}
+	for _, row := range tbl.Rows {
+		v := parseF(t, row[totCol])
+		switch {
+		case strings.HasPrefix(row[polCol], "oracle"):
+			oracle[row[ownCol]] = v
+		case strings.HasPrefix(row[polCol], "adaptive"):
+			adaptive[row[ownCol]] = v
+		case strings.HasPrefix(row[polCol], "frozen"):
+			frozen[row[ownCol]] = v
+		}
+	}
+	for owner, o := range oracle {
+		a, f := adaptive[owner], frozen[owner]
+		if a < 0.85*o {
+			t.Errorf("%s: adaptive total %g below 85%% of oracle %g", owner, a, o)
+		}
+		if a <= 2*f {
+			t.Errorf("%s: adaptive %g did not dominate frozen start %g", owner, a, f)
+		}
+		if a > o*1.001 {
+			t.Errorf("%s: adaptive %g beat the oracle %g — check the oracle", owner, a, o)
+		}
+	}
+}
+
+func TestE20GuidelineWinsFarm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("farm simulation skipped in -short mode")
+	}
+	tbl, err := RunE20()
+	if err != nil {
+		t.Fatal(err)
+	}
+	polCol := colIndex(t, tbl.Columns, "policy")
+	mkCol := colIndex(t, tbl.Columns, "makespan")
+	var guideline, fixed float64
+	for _, row := range tbl.Rows {
+		switch row[polCol] {
+		case "guideline":
+			guideline = parseF(t, row[mkCol])
+		case "fixed-25":
+			fixed = parseF(t, row[mkCol])
+		}
+	}
+	if !(guideline > 0) || !(fixed > 0) {
+		t.Fatal("missing policies in table")
+	}
+	if guideline >= fixed {
+		t.Errorf("guideline makespan %g not better than fixed-25 %g", guideline, fixed)
+	}
+}

@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 22 {
+		t.Fatalf("expected 22 experiments, got %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.Run == nil || e.Title == "" || e.Source == "" {
+			t.Errorf("%s: incomplete registration", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for i := 1; i <= 22; i++ {
+		if !seen["E"+strconv.Itoa(i)] {
+			t.Errorf("missing E%d", i)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("E3")
+	if err != nil || e.ID != "E3" {
+		t.Errorf("ByID(E3) = %v, %v", e.ID, err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+// cell finds the column index by header name.
+func colIndex(t *testing.T, cols []string, name string) int {
+	t.Helper()
+	for i, c := range cols {
+		if c == name {
+			return i
+		}
+	}
+	t.Fatalf("column %q not found in %v", name, cols)
+	return -1
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not a float: %v", s, err)
+	}
+	return v
+}
+
+func TestE1GuidelineMatchesOptimal(t *testing.T) {
+	tbl, err := RunE1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratioCol := colIndex(t, tbl.Columns, "E.ratio")
+	loCol := colIndex(t, tbl.Columns, "paperLo")
+	hiCol := colIndex(t, tbl.Columns, "paperHi")
+	t0Col := colIndex(t, tbl.Columns, "t0.guideline")
+	if len(tbl.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	for _, row := range tbl.Rows {
+		if r := parseF(t, row[ratioCol]); r < 0.995 || r > 1.005 {
+			t.Errorf("E ratio %g off unity in row %v", r, row)
+		}
+		t0 := parseF(t, row[t0Col])
+		if t0 < parseF(t, row[loCol])-1e-9 || t0 > parseF(t, row[hiCol])+1e-9 {
+			t.Errorf("guideline t0 %g outside paper bracket in row %v", t0, row)
+		}
+	}
+}
+
+func TestE3UpperBoundNearOptimalAndGreedyMatches(t *testing.T) {
+	tbl, err := RunE3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratioCol := colIndex(t, tbl.Columns, "E.ratio")
+	greedyCol := colIndex(t, tbl.Columns, "t0.greedy")
+	hiCol := colIndex(t, tbl.Columns, "boundHi")
+	for _, row := range tbl.Rows {
+		if r := parseF(t, row[ratioCol]); r < 0.999 || r > 1.001 {
+			t.Errorf("guideline/optimal ratio %g in row %v", r, row)
+		}
+		// Section 6: the greedy first period maximizes (t-c)a^{-t},
+		// which equals the paper's upper bound c + 1/ln a.
+		g, hi := parseF(t, row[greedyCol]), parseF(t, row[hiCol])
+		if abs(g-hi) > 1e-2*hi {
+			t.Errorf("greedy t0 %g != paper upper bound %g", g, hi)
+		}
+	}
+}
+
+func TestE4GuidelineAtLeastBCLR(t *testing.T) {
+	tbl, err := RunE4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratioCol := colIndex(t, tbl.Columns, "E.ratio")
+	for _, row := range tbl.Rows {
+		if r := parseF(t, row[ratioCol]); r < 0.999 || r > 1.05 {
+			t.Errorf("E ratio %g outside [1, 1.05) band in row %v", r, row)
+		}
+	}
+}
+
+func TestE5NoViolations(t *testing.T) {
+	tbl, err := RunE5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		for _, cell := range row {
+			if strings.Contains(cell, "VIOLATED") {
+				t.Errorf("structural violation in row %v", row)
+			}
+		}
+	}
+}
+
+func TestE8VerdictsMatchPaper(t *testing.T) {
+	tbl, err := RunE8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dCol := colIndex(t, tbl.Columns, "d")
+	admitCol := colIndex(t, tbl.Columns, "admitsOptimal")
+	for _, row := range tbl.Rows {
+		d := parseF(t, row[dCol])
+		admits := row[admitCol] == "yes"
+		if d > 1 && admits {
+			t.Errorf("d=%g decided admissible", d)
+		}
+		if d <= 1 && !admits {
+			t.Errorf("d=%g decided inadmissible", d)
+		}
+	}
+}
+
+func TestE11NoImprovingPerturbations(t *testing.T) {
+	tbl, err := RunE11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vCol := colIndex(t, tbl.Columns, "violations")
+	for _, row := range tbl.Rows {
+		if row[vCol] != "0" {
+			t.Errorf("perturbation violations in row %v", row)
+		}
+	}
+}
+
+func TestE12RoundingLossTiny(t *testing.T) {
+	tbl, err := RunE12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossCol := colIndex(t, tbl.Columns, "roundLoss%")
+	for _, row := range tbl.Rows {
+		if loss := parseF(t, row[lossCol]); loss > 0.5 {
+			t.Errorf("rounding loss %g%% too large in row %v", loss, row)
+		}
+	}
+}
+
+func TestE13ConstantCompetitive(t *testing.T) {
+	tbl, err := RunE13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	randCol := colIndex(t, tbl.Columns, "rho.randomized")
+	aaoCol := colIndex(t, tbl.Columns, "allAtOnce")
+	var first float64
+	for i, row := range tbl.Rows {
+		rho := parseF(t, row[randCol])
+		if i == 0 {
+			first = rho
+		}
+		if abs(rho-first) > 0.05 {
+			t.Errorf("randomized ratio drifts with horizon: %g vs %g", rho, first)
+		}
+		if parseF(t, row[aaoCol]) != 0 {
+			t.Errorf("all-at-once not 0-competitive in row %v", row)
+		}
+	}
+}
+
+func TestE14GuidelineNearGroundTruth(t *testing.T) {
+	tbl, err := RunE14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratioCol := colIndex(t, tbl.Columns, "E.ratio")
+	for _, row := range tbl.Rows {
+		if r := parseF(t, row[ratioCol]); r < 0.99 {
+			t.Errorf("guideline falls below 99%% of ground truth in row %v", row)
+		}
+	}
+}
+
+func TestE15FillFractionMonotone(t *testing.T) {
+	tbl, err := RunE15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillCol := colIndex(t, tbl.Columns, "fillFraction")
+	first := parseF(t, tbl.Rows[0][fillCol])
+	last := parseF(t, tbl.Rows[len(tbl.Rows)-1][fillCol])
+	if first < 0.97 {
+		t.Errorf("fine-grained fill fraction %g should approach 1", first)
+	}
+	if last > first {
+		t.Errorf("coarse tasks (%g) should fill worse than fine ones (%g)", last, first)
+	}
+}
+
+func TestE17UniquenessSupported(t *testing.T) {
+	tbl, err := RunE17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := colIndex(t, tbl.Columns, "uniqueSupported")
+	for _, row := range tbl.Rows {
+		if row[col] != "yes" {
+			t.Errorf("uniqueness not supported in row %v", row)
+		}
+	}
+}
+
+func TestE18DiagonalOptimal(t *testing.T) {
+	tbl, err := RunE18()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diagonal is 1 by construction; every off-diagonal entry must be
+	// <= 1 + tolerance (no misinformed plan may beat the informed one).
+	for i, row := range tbl.Rows {
+		for j := 1; j < len(row); j++ {
+			v := parseF(t, row[j])
+			if j-1 == i {
+				if abs(v-1) > 1e-9 {
+					t.Errorf("diagonal cell (%d,%d) = %g", i, j, v)
+				}
+			} else if v > 1+1e-6 {
+				t.Errorf("misinformed plan beats informed one at (%d,%d): %g", i, j, v)
+			}
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,34 @@
+package faultsim_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/faultsim"
+	"repro/internal/lifefn"
+	"repro/internal/nowsim"
+	"repro/internal/rng"
+)
+
+// The Remark's application: run a 100-unit job on a machine whose
+// failures have a bounded horizon, saving every 9 work units.
+func Example() {
+	failure, err := lifefn.NewUniform(1e9) // effectively failure-free run
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := faultsim.Run(faultsim.Config{
+		TotalWork: 100,
+		SaveCost:  1,
+		Failure:   failure,
+		PolicyFactory: func() nowsim.Policy {
+			return &nowsim.FixedChunkPolicy{Chunk: 10} // 9 work + 1 save
+		},
+	}, rng.New(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("makespan=%.0f failures=%d saves=%.0f\n",
+		res.Makespan, res.Failures, res.SaveTime)
+	// Output: makespan=112 failures=0 saves=12
+}

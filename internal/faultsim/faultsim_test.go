@@ -1,0 +1,193 @@
+package faultsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lifefn"
+	"repro/internal/nowsim"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+func geomFailure(t *testing.T, halfLife float64) lifefn.Life {
+	t.Helper()
+	g, err := lifefn.NewGeomDecreasing(math.Pow(2, 1/halfLife))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func fixedPolicy(chunk float64) func() nowsim.Policy {
+	return func() nowsim.Policy { return &nowsim.FixedChunkPolicy{Chunk: chunk} }
+}
+
+func TestRunCompletesWithoutFailures(t *testing.T) {
+	// Failure horizon far beyond the job: one interval, no failures.
+	long, _ := lifefn.NewUniform(1e9)
+	cfg := Config{
+		TotalWork:     100,
+		SaveCost:      1,
+		Failure:       long,
+		PolicyFactory: fixedPolicy(11), // 10 work + 1 save per chunk
+	}
+	res, err := Run(cfg, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("job did not complete")
+	}
+	// 10 chunks of 11 = 110 wall time.
+	if math.Abs(res.Makespan-110) > 1e-9 {
+		t.Errorf("makespan = %g, want 110", res.Makespan)
+	}
+	if res.Failures != 0 || res.LostWork != 0 {
+		t.Errorf("failures=%d lost=%g", res.Failures, res.LostWork)
+	}
+	if math.Abs(res.SaveTime-10) > 1e-9 {
+		t.Errorf("save time = %g, want 10", res.SaveTime)
+	}
+}
+
+func TestRunFinalChunkShrinks(t *testing.T) {
+	long, _ := lifefn.NewUniform(1e9)
+	cfg := Config{
+		TotalWork:     15,
+		SaveCost:      1,
+		Failure:       long,
+		PolicyFactory: fixedPolicy(11),
+	}
+	res, err := Run(cfg, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chunk 1: 10 work, 11 wall. Chunk 2 shrinks to 5 work + save = 6.
+	if math.Abs(res.Makespan-17) > 1e-9 {
+		t.Errorf("makespan = %g, want 17", res.Makespan)
+	}
+}
+
+func TestRunSurvivesFailures(t *testing.T) {
+	cfg := Config{
+		TotalWork:     200,
+		SaveCost:      1,
+		Failure:       geomFailure(t, 40),
+		RebootCost:    2,
+		PolicyFactory: fixedPolicy(9),
+	}
+	res, err := Run(cfg, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("job did not complete")
+	}
+	if res.Failures == 0 {
+		t.Error("expected at least one failure with a 40-unit half-life and 200 work")
+	}
+	// Makespan accounts for work, saves, losses and reboots.
+	minimum := 200.0 + res.SaveTime
+	if res.Makespan < minimum {
+		t.Errorf("makespan %g below work+saves %g", res.Makespan, minimum)
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	cfg := Config{
+		TotalWork:     100,
+		SaveCost:      1,
+		Failure:       geomFailure(t, 30),
+		PolicyFactory: fixedPolicy(8),
+	}
+	a, err := Run(cfg, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.Failures != b.Failures {
+		t.Error("same seed produced different runs")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	long, _ := lifefn.NewUniform(10)
+	src := rng.New(1)
+	if _, err := Run(Config{TotalWork: 0, Failure: long, PolicyFactory: fixedPolicy(1)}, src); err == nil {
+		t.Error("zero work accepted")
+	}
+	if _, err := Run(Config{TotalWork: 1, SaveCost: -1, Failure: long, PolicyFactory: fixedPolicy(1)}, src); err == nil {
+		t.Error("negative save cost accepted")
+	}
+	if _, err := Run(Config{TotalWork: 1}, src); err == nil {
+		t.Error("missing failure model accepted")
+	}
+}
+
+func TestGuidelineSavesBeatNaiveSaves(t *testing.T) {
+	// The headline claim of the Remark: guideline-derived save
+	// intervals (from the cycle-stealing planner, with the failure
+	// survival as life function) beat badly chosen fixed intervals.
+	failure := geomFailure(t, 25)
+	c := 1.0
+	pl, err := core.NewPlanner(failure, c, core.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := pl.PlanBest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		TotalWork:  300,
+		SaveCost:   c,
+		Failure:    failure,
+		RebootCost: 1,
+	}
+	run := func(factory func() nowsim.Policy) float64 {
+		cfg := base
+		cfg.PolicyFactory = factory
+		mc, err := MonteCarlo(cfg, 400, 2024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mc.Makespan.Mean
+	}
+	guideline := run(func() nowsim.Policy {
+		return nowsim.NewSchedulePolicy(plan.Schedule, "guideline")
+	})
+	tooBig := run(fixedPolicy(120))        // saves far too rare
+	tooSmall := run(fixedPolicy(c + 0.25)) // overhead swamps work
+	if guideline >= tooBig {
+		t.Errorf("guideline %g not better than rare saves %g", guideline, tooBig)
+	}
+	if guideline >= tooSmall {
+		t.Errorf("guideline %g not better than frantic saves %g", guideline, tooSmall)
+	}
+}
+
+func TestMonteCarloAggregates(t *testing.T) {
+	cfg := Config{
+		TotalWork:     50,
+		SaveCost:      1,
+		Failure:       geomFailure(t, 30),
+		PolicyFactory: fixedPolicy(8),
+	}
+	mc, err := MonteCarlo(cfg, 200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Runs != 200 || mc.Makespan.N != 200 {
+		t.Errorf("runs = %d", mc.Runs)
+	}
+	if mc.Makespan.Mean < 50 {
+		t.Errorf("mean makespan %g below total work", mc.Makespan.Mean)
+	}
+}
+
+var _ = sched.Schedule{}

@@ -1,0 +1,101 @@
+package lifefn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConditionalBasics(t *testing.T) {
+	u, _ := NewUniform(100)
+	c, err := NewConditional(u, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.P(0); got != 1 {
+		t.Errorf("P(0) = %g, want 1", got)
+	}
+	// p(t | survived 40) = (1 - (40+t)/100)/(1 - 40/100) = 1 - t/60.
+	if got := c.P(30); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("P(30) = %g, want 0.5", got)
+	}
+	if got := c.Horizon(); math.Abs(got-60) > 1e-12 {
+		t.Errorf("Horizon = %g, want 60", got)
+	}
+	if c.Shape() != Linear {
+		t.Errorf("shape = %v, want linear", c.Shape())
+	}
+}
+
+func TestConditionalUniformIsUniform(t *testing.T) {
+	// Conditioning the uniform-risk function yields the uniform-risk
+	// function on the remaining lifespan — the structural fact behind
+	// progressive re-planning.
+	u, _ := NewUniform(100)
+	c, _ := NewConditional(u, 25)
+	rem, _ := NewUniform(75)
+	for i := 0; i <= 50; i++ {
+		x := 75 * float64(i) / 50
+		if math.Abs(c.P(x)-rem.P(x)) > 1e-12 {
+			t.Fatalf("P mismatch at %g: %g vs %g", x, c.P(x), rem.P(x))
+		}
+	}
+}
+
+func TestConditionalGeomDecreasingMemoryless(t *testing.T) {
+	// a^{-t} is memoryless: conditioning must not change the curve.
+	g, _ := NewGeomDecreasing(math.Pow(2, 1.0/8))
+	c, _ := NewConditional(g, 13)
+	for i := 0; i <= 40; i++ {
+		x := 40 * float64(i) / 40
+		if math.Abs(c.P(x)-g.P(x)) > 1e-12 {
+			t.Fatalf("memorylessness violated at %g: %g vs %g", x, c.P(x), g.P(x))
+		}
+	}
+}
+
+func TestConditionalValidates(t *testing.T) {
+	gi, _ := NewGeomIncreasing(64)
+	c, err := NewConditional(gi, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(c, ValidateOptions{}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConditionalRejectsDeadEpisode(t *testing.T) {
+	u, _ := NewUniform(10)
+	if _, err := NewConditional(u, 10); err == nil {
+		t.Error("conditioning on zero-probability survival accepted")
+	}
+	if _, err := NewConditional(u, -1); err == nil {
+		t.Error("negative conditioning time accepted")
+	}
+}
+
+func TestConditionalDerivConsistent(t *testing.T) {
+	p3, _ := NewPoly(3, 50)
+	c, _ := NewConditional(p3, 10)
+	for _, x := range []float64{1, 5, 15, 30} {
+		h := 1e-6
+		fd := (c.P(x+h) - c.P(x-h)) / (2 * h)
+		if math.Abs(fd-c.Deriv(x)) > 1e-4*(1+math.Abs(fd)) {
+			t.Errorf("Deriv(%g) = %g, fd = %g", x, c.Deriv(x), fd)
+		}
+	}
+}
+
+func TestConditionalNested(t *testing.T) {
+	// Conditioning twice equals conditioning once on the sum.
+	u, _ := NewUniform(100)
+	c1, _ := NewConditional(u, 20)
+	c2, _ := NewConditional(c1, 30)
+	direct, _ := NewConditional(u, 50)
+	for i := 0; i <= 20; i++ {
+		x := 50 * float64(i) / 20
+		if math.Abs(c2.P(x)-direct.P(x)) > 1e-12 {
+			t.Fatalf("nested conditioning mismatch at %g", x)
+		}
+	}
+}

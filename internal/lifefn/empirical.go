@@ -1,0 +1,165 @@
+package lifefn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// ErrBadSamples reports unusable survival samples.
+var ErrBadSamples = errors.New("lifefn: invalid survival samples")
+
+// Empirical is a life function fitted from tabulated survival samples —
+// the paper's "knowledge ... garnered possibly from trace data,
+// encapsulated by some well-behaved curve". The samples are interpolated
+// with a monotone cubic (PCHIP), which keeps the curve nonincreasing and
+// continuously differentiable, exactly the smoothness the guidelines
+// assume.
+type Empirical struct {
+	interp  *numeric.PCHIP
+	shape   Shape
+	horizon float64
+	name    string
+}
+
+// NewEmpirical builds a life function from survival samples: ts strictly
+// increasing starting at 0, ps nonincreasing with ps[0] = 1. If the last
+// sample's survival is (near) zero the horizon is the last abscissa;
+// otherwise the horizon is unbounded and P decays exponentially beyond
+// the last sample, matching its terminal hazard rate.
+func NewEmpirical(ts, ps []float64) (*Empirical, error) {
+	if len(ts) < 3 || len(ts) != len(ps) {
+		return nil, fmt.Errorf("%w: need >= 3 matched samples, got %d/%d", ErrBadSamples, len(ts), len(ps))
+	}
+	if ts[0] != 0 {
+		return nil, fmt.Errorf("%w: first sample must be at t=0, got %g", ErrBadSamples, ts[0])
+	}
+	if math.Abs(ps[0]-1) > 1e-9 {
+		return nil, fmt.Errorf("%w: p(0) must be 1, got %g", ErrBadSamples, ps[0])
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i] > ps[i-1]+1e-12 {
+			return nil, fmt.Errorf("%w: survival increases at sample %d (%g -> %g)", ErrBadSamples, i, ps[i-1], ps[i])
+		}
+		if ps[i] < 0 {
+			return nil, fmt.Errorf("%w: negative survival %g at sample %d", ErrBadSamples, ps[i], i)
+		}
+	}
+	interp, err := numeric.NewPCHIP(ts, ps)
+	if err != nil {
+		return nil, fmt.Errorf("lifefn: %w", err)
+	}
+	e := &Empirical{interp: interp, name: fmt.Sprintf("empirical(%d samples)", len(ts))}
+	last := len(ts) - 1
+	if ps[last] <= 1e-9 {
+		e.horizon = ts[last]
+	} else {
+		e.horizon = math.Inf(1)
+	}
+	e.shape = DetectShape(e, 0, ts[last], 64)
+	return e, nil
+}
+
+// P implements Life.
+func (e *Empirical) P(t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	_, hi := e.interp.Domain()
+	if t <= hi {
+		v := e.interp.At(t)
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	if !math.IsInf(e.horizon, 1) {
+		return 0
+	}
+	return e.tailP(t, hi)
+}
+
+// Deriv implements Life.
+func (e *Empirical) Deriv(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	_, hi := e.interp.Domain()
+	if t <= hi {
+		return e.interp.DerivAt(t)
+	}
+	if !math.IsInf(e.horizon, 1) {
+		return 0
+	}
+	return -e.tailRate(hi) * e.tailP(t, hi)
+}
+
+// tailP extends the curve past the last sample with exponential decay at
+// the terminal hazard rate, so an unbounded empirical life function
+// still tends to zero.
+func (e *Empirical) tailP(t, hi float64) float64 {
+	return e.interp.At(hi) * math.Exp(-e.tailRate(hi)*(t-hi))
+}
+
+func (e *Empirical) tailRate(hi float64) float64 {
+	p := e.interp.At(hi)
+	d := e.interp.DerivAt(hi)
+	if p <= 0 || d >= 0 {
+		return 1 // arbitrary positive rate; curve is already ~0
+	}
+	return -d / p
+}
+
+// Shape implements Life.
+func (e *Empirical) Shape() Shape { return e.shape }
+
+// Horizon implements Life.
+func (e *Empirical) Horizon() float64 { return e.horizon }
+
+// String implements Life.
+func (e *Empirical) String() string { return e.name }
+
+// DetectShape samples l's derivative at n+1 points of [lo, hi] and
+// classifies the curvature: Concave if the derivative never increases,
+// Convex if it never decreases, Linear if both, Unknown otherwise.
+// Comparisons use a small relative slack so that floating-point ripple
+// on a straight line is still classified Linear.
+func DetectShape(l Life, lo, hi float64, n int) Shape {
+	if n < 2 {
+		n = 2
+	}
+	h := (hi - lo) / float64(n)
+	tol := 1e-9
+	prev := l.Deriv(lo + 1e-12)
+	nonInc, nonDec := true, true
+	scale := math.Abs(prev) + 1e-30
+	for i := 1; i <= n; i++ {
+		t := lo + float64(i)*h
+		if t >= hi {
+			t = hi - 1e-12*(hi-lo) // stay inside the open interval
+		}
+		d := l.Deriv(t)
+		if d > prev+tol*scale {
+			nonInc = false
+		}
+		if d < prev-tol*scale {
+			nonDec = false
+		}
+		prev = d
+		if s := math.Abs(d); s > scale {
+			scale = s
+		}
+	}
+	switch {
+	case nonInc && nonDec:
+		return Linear
+	case nonInc:
+		return Concave
+	case nonDec:
+		return Convex
+	default:
+		return Unknown
+	}
+}

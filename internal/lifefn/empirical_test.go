@@ -1,0 +1,126 @@
+package lifefn
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func sampleCurve(l Life, span float64, n int) (ts, ps []float64) {
+	ts = make([]float64, n+1)
+	ps = make([]float64, n+1)
+	for i := 0; i <= n; i++ {
+		ts[i] = span * float64(i) / float64(n)
+		ps[i] = l.P(ts[i])
+	}
+	return ts, ps
+}
+
+func TestEmpiricalReproducesUniform(t *testing.T) {
+	u, _ := NewUniform(100)
+	ts, ps := sampleCurve(u, 100, 50)
+	e, err := NewEmpirical(ts, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= 200; i++ {
+		x := 100 * float64(i) / 200
+		if math.Abs(e.P(x)-u.P(x)) > 1e-6 {
+			t.Fatalf("P(%g) = %g, want %g", x, e.P(x), u.P(x))
+		}
+	}
+	if e.Horizon() != 100 {
+		t.Errorf("horizon = %g, want 100", e.Horizon())
+	}
+	if err := Validate(e, ValidateOptions{}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmpiricalShapeDetection(t *testing.T) {
+	p3, _ := NewPoly(3, 60)
+	ts, ps := sampleCurve(p3, 60, 80)
+	e, err := NewEmpirical(ts, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Shape(); !s.IsConcave() {
+		t.Errorf("detected shape %v for concave data", s)
+	}
+}
+
+func TestEmpiricalUnboundedTail(t *testing.T) {
+	g, _ := NewGeomDecreasing(math.Pow(2, 1.0/8))
+	ts, ps := sampleCurve(g, 40, 60) // P(40) ≈ 0.03 > 0: unbounded
+	e, err := NewEmpirical(ts, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(e.Horizon(), 1) {
+		t.Fatalf("horizon = %g, want +Inf", e.Horizon())
+	}
+	// Tail must keep decaying toward zero, monotonically.
+	prev := e.P(40)
+	for _, x := range []float64{45, 60, 90, 150, 400} {
+		v := e.P(x)
+		if v > prev+1e-12 {
+			t.Fatalf("tail increases at %g", x)
+		}
+		prev = v
+	}
+	if e.P(400) > 1e-4 {
+		t.Errorf("tail P(400) = %g has not decayed", e.P(400))
+	}
+}
+
+func TestEmpiricalDerivNonPositive(t *testing.T) {
+	gi, _ := NewGeomIncreasing(32)
+	ts, ps := sampleCurve(gi, 32, 64)
+	e, err := NewEmpirical(ts, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= 320; i++ {
+		x := 32 * float64(i) / 320
+		if d := e.Deriv(x); d > 1e-9 {
+			t.Fatalf("Deriv(%g) = %g > 0", x, d)
+		}
+	}
+}
+
+func TestEmpiricalRejectsBadSamples(t *testing.T) {
+	cases := []struct {
+		name   string
+		ts, ps []float64
+	}{
+		{"too few", []float64{0, 1}, []float64{1, 0}},
+		{"nonzero start", []float64{1, 2, 3}, []float64{1, 0.5, 0}},
+		{"p0 not one", []float64{0, 1, 2}, []float64{0.9, 0.5, 0}},
+		{"increasing p", []float64{0, 1, 2}, []float64{1, 0.5, 0.7}},
+		{"negative p", []float64{0, 1, 2}, []float64{1, 0.5, -0.1}},
+		{"length mismatch", []float64{0, 1, 2}, []float64{1, 0.5}},
+	}
+	for _, c := range cases {
+		if _, err := NewEmpirical(c.ts, c.ps); !errors.Is(err, ErrBadSamples) {
+			t.Errorf("%s: err = %v, want ErrBadSamples", c.name, err)
+		}
+	}
+}
+
+func TestEmpiricalConditionalComposition(t *testing.T) {
+	// An empirical life function must compose with Conditional — the
+	// trace-fitted progressive-planning path.
+	u, _ := NewUniform(80)
+	ts, ps := sampleCurve(u, 80, 40)
+	e, err := NewEmpirical(ts, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewConditional(e, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.P(30); math.Abs(got-0.5) > 1e-5 {
+		t.Errorf("conditional empirical P(30) = %g, want ~0.5", got)
+	}
+}

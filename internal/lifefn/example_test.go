@@ -1,0 +1,57 @@
+package lifefn_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/lifefn"
+)
+
+// The three scenario families of the paper, side by side at their
+// half-probability points.
+func Example() {
+	uniform, err := lifefn.NewUniform(100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	halfLife, err := lifefn.NewGeomDecreasing(1.0218971486541166) // 2^{1/32}
+	if err != nil {
+		log.Fatal(err)
+	}
+	doubling, err := lifefn.NewGeomIncreasing(100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uniform:  P(50)=%.3f shape=%s\n", uniform.P(50), uniform.Shape())
+	fmt.Printf("halflife: P(32)=%.3f shape=%s\n", halfLife.P(32), halfLife.Shape())
+	fmt.Printf("doubling: P(50)=%.3f shape=%s\n", doubling.P(50), doubling.Shape())
+	// Output:
+	// uniform:  P(50)=0.500 shape=linear
+	// halflife: P(32)=0.500 shape=convex
+	// doubling: P(50)=1.000 shape=concave
+}
+
+// Conditioning re-bases a life function on observed survival — the
+// mechanism behind the paper's progressive (Section 6) scheduling.
+func ExampleNewConditional() {
+	u, _ := lifefn.NewUniform(100)
+	cond, err := lifefn.NewConditional(u, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P(30 | survived 40) = %.2f, remaining horizon %.0f\n",
+		cond.P(30), cond.Horizon())
+	// Output: P(30 | survived 40) = 0.50, remaining horizon 60
+}
+
+// Mixtures model owners with several behaviour modes.
+func ExampleNewMixture() {
+	coffee, _ := lifefn.NewUniform(10)
+	meeting, _ := lifefn.NewUniform(90)
+	mix, err := lifefn.NewMixture([]lifefn.Life{coffee, meeting}, []float64{3, 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P(20) = %.4f (coffee mode is over; meeting mode persists)\n", mix.P(20))
+	// Output: P(20) = 0.1944 (coffee mode is over; meeting mode persists)
+}

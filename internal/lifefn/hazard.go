@@ -1,0 +1,41 @@
+package lifefn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// HazardRate returns the instantaneous reclaim hazard
+// h(t) = -p'(t)/p(t): the conditional rate at which the owner returns
+// given survival to t. The paper's scenarios read naturally in hazard
+// terms — constant for a^{-t} (memoryless), rising to infinity at L for
+// the bounded families, falling for heavy tails (which is exactly the
+// regime where optimal schedules stop existing; see core.AdmitsOptimal).
+func HazardRate(l Life, t float64) float64 {
+	p := l.P(t)
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return -l.Deriv(t) / p
+}
+
+// CumulativeHazard returns Λ(t) = ∫₀ᵗ h(τ) dτ by adaptive quadrature.
+// For any valid life function, p(t) = exp(-Λ(t)) — an identity the
+// property tests exercise across every built-in family.
+func CumulativeHazard(l Life, t float64) (float64, error) {
+	if t <= 0 {
+		return 0, nil
+	}
+	if h := l.Horizon(); !math.IsInf(h, 1) && t >= h {
+		return math.Inf(1), nil
+	}
+	v, err := numeric.Integrate(func(tau float64) float64 {
+		return HazardRate(l, tau)
+	}, 0, t, numeric.QuadOptions{Tol: 1e-10})
+	if err != nil {
+		return v, fmt.Errorf("lifefn: cumulative hazard of %s at %g: %w", l, t, err)
+	}
+	return v, nil
+}

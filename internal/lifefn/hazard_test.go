@@ -1,0 +1,72 @@
+package lifefn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHazardRateKnownForms(t *testing.T) {
+	// Memoryless: constant hazard ln a.
+	a := math.Pow(2, 1.0/16)
+	g, _ := NewGeomDecreasing(a)
+	for _, x := range []float64{0.5, 5, 50} {
+		if h := HazardRate(g, x); math.Abs(h-math.Log(a)) > 1e-12 {
+			t.Errorf("exponential hazard at %g = %g, want %g", x, h, math.Log(a))
+		}
+	}
+	// Uniform: h(t) = 1/(L-t), exploding at the horizon.
+	u, _ := NewUniform(100)
+	if h := HazardRate(u, 50); math.Abs(h-0.02) > 1e-12 {
+		t.Errorf("uniform hazard at 50 = %g, want 0.02", h)
+	}
+	if h := HazardRate(u, 100); !math.IsInf(h, 1) {
+		t.Errorf("uniform hazard at L = %g, want +Inf", h)
+	}
+	// Power law: h(t) = d/(1+t), fading.
+	p, _ := NewPowerLaw(2)
+	if h := HazardRate(p, 9); math.Abs(h-0.2) > 1e-12 {
+		t.Errorf("power-law hazard at 9 = %g, want 0.2", h)
+	}
+}
+
+func TestCumulativeHazardIdentity(t *testing.T) {
+	// p(t) = exp(-Λ(t)) for every family, at interior points.
+	lives := []Life{}
+	u, _ := NewUniform(100)
+	p3, _ := NewPoly(3, 100)
+	g, _ := NewGeomDecreasing(math.Pow(2, 1.0/16))
+	gi, _ := NewGeomIncreasing(48)
+	pw, _ := NewPowerLaw(1.5)
+	lives = append(lives, u, p3, g, gi, pw)
+	for _, l := range lives {
+		span := l.Horizon()
+		if math.IsInf(span, 1) {
+			span = 40
+		}
+		for _, frac := range []float64{0.1, 0.4, 0.7} {
+			x := frac * span
+			lam, err := CumulativeHazard(l, x)
+			if err != nil {
+				t.Fatalf("%s at %g: %v", l, x, err)
+			}
+			want := l.P(x)
+			got := math.Exp(-lam)
+			if math.Abs(got-want) > 1e-6*(1+want) {
+				t.Errorf("%s: exp(-Λ(%g)) = %.9g, p = %.9g", l, x, got, want)
+			}
+		}
+	}
+}
+
+func TestCumulativeHazardBoundary(t *testing.T) {
+	u, _ := NewUniform(10)
+	if v, _ := CumulativeHazard(u, 0); v != 0 {
+		t.Errorf("Λ(0) = %g", v)
+	}
+	if v, _ := CumulativeHazard(u, 10); !math.IsInf(v, 1) {
+		t.Errorf("Λ(L) = %g, want +Inf", v)
+	}
+	if v, _ := CumulativeHazard(u, -3); v != 0 {
+		t.Errorf("Λ(-3) = %g", v)
+	}
+}

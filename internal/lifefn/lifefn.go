@@ -1,0 +1,399 @@
+// Package lifefn defines life functions: the survival curves that drive
+// cycle-stealing risk in Rosenberg's model (CMPSCI TR 98-15). A life
+// function p gives, for each time t, the probability p(t) that the
+// borrowed workstation has not been reclaimed by time t. All of the
+// paper's guidelines are expressed in terms of p and its derivative.
+//
+// The package supplies the three families the paper evaluates (uniform /
+// polynomial risk, geometrically decreasing lifespan, geometrically
+// increasing risk), the power-law family used by the paper's
+// non-existence example, conditional (re-based) life functions for
+// progressive scheduling, and empirical life functions fitted from trace
+// data.
+package lifefn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Shape classifies the curvature of a life function, which the paper's
+// t0 upper bounds (Theorem 3.3) and growth-rate laws (Theorem 5.2)
+// depend on. A life function is concave when its derivative is
+// everywhere nonincreasing, convex when everywhere nondecreasing;
+// Linear means both at once (the uniform-risk scenario).
+type Shape int
+
+const (
+	// Unknown means the curvature is unclassified or mixed.
+	Unknown Shape = iota
+	// Concave life functions have nonincreasing derivative.
+	Concave
+	// Convex life functions have nondecreasing derivative.
+	Convex
+	// Linear life functions are both concave and convex.
+	Linear
+)
+
+// String returns the lower-case name of the shape.
+func (s Shape) String() string {
+	switch s {
+	case Concave:
+		return "concave"
+	case Convex:
+		return "convex"
+	case Linear:
+		return "linear"
+	default:
+		return "unknown"
+	}
+}
+
+// IsConcave reports whether the shape admits the concave-case bounds.
+func (s Shape) IsConcave() bool { return s == Concave || s == Linear }
+
+// IsConvex reports whether the shape admits the convex-case bounds.
+func (s Shape) IsConvex() bool { return s == Convex || s == Linear }
+
+// Life is a survival function for a cycle-stealing episode.
+//
+// Implementations must satisfy the paper's model assumptions: P(0) = 1,
+// P nonincreasing and differentiable, and P(t) → 0 (at t = Horizon()
+// when the horizon is finite, as t → ∞ otherwise). For t beyond a finite
+// horizon, P must return 0.
+type Life interface {
+	// P returns the probability that the workstation is still available
+	// at time t.
+	P(t float64) float64
+	// Deriv returns dP/dt at time t.
+	Deriv(t float64) float64
+	// Shape classifies the curvature of P.
+	Shape() Shape
+	// Horizon returns the potential lifespan L when the episode has a
+	// known upper bound, or math.Inf(1) when it does not.
+	Horizon() float64
+	// String names the life function with its parameters.
+	String() string
+}
+
+// Uniform is the uniform-risk life function p(t) = 1 - t/L of [BCLR97]:
+// the risk of reclamation is constant across the potential lifespan L.
+// It is both concave and convex.
+type Uniform struct {
+	L float64 // potential lifespan, > 0
+}
+
+// NewUniform returns the uniform-risk life function with lifespan L.
+func NewUniform(l float64) (Uniform, error) {
+	if !(l > 0) || math.IsInf(l, 0) {
+		return Uniform{}, fmt.Errorf("lifefn: uniform lifespan must be positive and finite, got %g", l)
+	}
+	return Uniform{L: l}, nil
+}
+
+// P implements Life.
+func (u Uniform) P(t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	if t >= u.L {
+		return 0
+	}
+	return 1 - t/u.L
+}
+
+// Deriv implements Life.
+func (u Uniform) Deriv(t float64) float64 {
+	if t < 0 || t > u.L {
+		return 0
+	}
+	return -1 / u.L
+}
+
+// Shape implements Life.
+func (u Uniform) Shape() Shape { return Linear }
+
+// Horizon implements Life.
+func (u Uniform) Horizon() float64 { return u.L }
+
+// String implements Life.
+func (u Uniform) String() string { return fmt.Sprintf("uniform(L=%g)", u.L) }
+
+// Poly is the concave family p_{d,L}(t) = 1 - t^d/L^d of Section 4.1.
+// d = 1 recovers Uniform; larger d concentrates the reclamation risk
+// near the end of the lifespan.
+type Poly struct {
+	D int     // exponent, >= 1
+	L float64 // potential lifespan, > 0
+}
+
+// NewPoly returns the polynomial life function p_{d,L}.
+func NewPoly(d int, l float64) (Poly, error) {
+	if d < 1 {
+		return Poly{}, fmt.Errorf("lifefn: poly exponent must be >= 1, got %d", d)
+	}
+	if !(l > 0) || math.IsInf(l, 0) {
+		return Poly{}, fmt.Errorf("lifefn: poly lifespan must be positive and finite, got %g", l)
+	}
+	return Poly{D: d, L: l}, nil
+}
+
+// P implements Life.
+func (p Poly) P(t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	if t >= p.L {
+		return 0
+	}
+	return 1 - math.Pow(t/p.L, float64(p.D))
+}
+
+// Deriv implements Life.
+func (p Poly) Deriv(t float64) float64 {
+	if t < 0 || t > p.L {
+		return 0
+	}
+	d := float64(p.D)
+	if t == 0 && p.D > 1 {
+		return 0
+	}
+	return -d / p.L * math.Pow(t/p.L, d-1)
+}
+
+// Shape implements Life.
+func (p Poly) Shape() Shape {
+	if p.D == 1 {
+		return Linear
+	}
+	return Concave
+}
+
+// Horizon implements Life.
+func (p Poly) Horizon() float64 { return p.L }
+
+// String implements Life.
+func (p Poly) String() string { return fmt.Sprintf("poly(d=%d, L=%g)", p.D, p.L) }
+
+// GeomDecreasing is the geometrically decreasing lifespan life function
+// p_a(t) = a^{-t} of Section 4.2: the episode has a "half-life"; the
+// conditional risk is identical at every instant. It is convex with an
+// unbounded horizon.
+type GeomDecreasing struct {
+	A float64 // risk factor, > 1
+}
+
+// NewGeomDecreasing returns the life function a^{-t}.
+func NewGeomDecreasing(a float64) (GeomDecreasing, error) {
+	if !(a > 1) || math.IsInf(a, 0) {
+		return GeomDecreasing{}, fmt.Errorf("lifefn: geometric risk factor must be > 1 and finite, got %g", a)
+	}
+	return GeomDecreasing{A: a}, nil
+}
+
+// LnA returns ln a, the hazard rate of the episode.
+func (g GeomDecreasing) LnA() float64 { return math.Log(g.A) }
+
+// P implements Life.
+func (g GeomDecreasing) P(t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	return math.Exp(-t * g.LnA())
+}
+
+// Deriv implements Life.
+func (g GeomDecreasing) Deriv(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	return -g.LnA() * math.Exp(-t*g.LnA())
+}
+
+// Shape implements Life.
+func (g GeomDecreasing) Shape() Shape { return Convex }
+
+// Horizon implements Life.
+func (g GeomDecreasing) Horizon() float64 { return math.Inf(1) }
+
+// String implements Life.
+func (g GeomDecreasing) String() string { return fmt.Sprintf("geomdec(a=%g)", g.A) }
+
+// GeomIncreasing is the geometrically increasing risk life function
+// p(t) = (2^L - 2^t)/(2^L - 1) of Section 4.3, modelling an opportunity
+// (such as a coffee break) whose interruption risk doubles at every time
+// unit. It is concave with horizon L.
+//
+// The implementation evaluates (1 - 2^{t-L}) / (1 - 2^{-L}) to stay
+// finite for large L.
+type GeomIncreasing struct {
+	L float64 // potential lifespan, > 0
+}
+
+// NewGeomIncreasing returns the doubling-risk life function with
+// lifespan L.
+func NewGeomIncreasing(l float64) (GeomIncreasing, error) {
+	if !(l > 0) || math.IsInf(l, 0) {
+		return GeomIncreasing{}, fmt.Errorf("lifefn: geomInc lifespan must be positive and finite, got %g", l)
+	}
+	return GeomIncreasing{L: l}, nil
+}
+
+// P implements Life.
+func (g GeomIncreasing) P(t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	if t >= g.L {
+		return 0
+	}
+	num := -math.Expm1((t - g.L) * math.Ln2) // 1 - 2^{t-L}
+	den := -math.Expm1(-g.L * math.Ln2)      // 1 - 2^{-L}
+	return num / den
+}
+
+// Deriv implements Life.
+func (g GeomIncreasing) Deriv(t float64) float64 {
+	if t < 0 || t > g.L {
+		return 0
+	}
+	den := -math.Expm1(-g.L * math.Ln2)
+	return -math.Ln2 * math.Exp((t-g.L)*math.Ln2) / den
+}
+
+// Shape implements Life.
+func (g GeomIncreasing) Shape() Shape { return Concave }
+
+// Horizon implements Life.
+func (g GeomIncreasing) Horizon() float64 { return g.L }
+
+// String implements Life.
+func (g GeomIncreasing) String() string { return fmt.Sprintf("geominc(L=%g)", g.L) }
+
+// PowerLaw is the heavy-tailed life function p(t) = (1+t)^{-d}. For
+// d > 1 the paper's Corollary 3.2 shows it admits no optimal schedule;
+// the family exists here to exercise that existence test. It is convex
+// with an unbounded horizon.
+type PowerLaw struct {
+	D float64 // tail exponent, > 0
+}
+
+// NewPowerLaw returns the life function (1+t)^{-d}.
+func NewPowerLaw(d float64) (PowerLaw, error) {
+	if !(d > 0) || math.IsInf(d, 0) {
+		return PowerLaw{}, fmt.Errorf("lifefn: power-law exponent must be positive and finite, got %g", d)
+	}
+	return PowerLaw{D: d}, nil
+}
+
+// P implements Life.
+func (p PowerLaw) P(t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	return math.Pow(1+t, -p.D)
+}
+
+// Deriv implements Life.
+func (p PowerLaw) Deriv(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	return -p.D * math.Pow(1+t, -p.D-1)
+}
+
+// Shape implements Life.
+func (p PowerLaw) Shape() Shape { return Convex }
+
+// Horizon implements Life.
+func (p PowerLaw) Horizon() float64 { return math.Inf(1) }
+
+// String implements Life.
+func (p PowerLaw) String() string { return fmt.Sprintf("powerlaw(d=%g)", p.D) }
+
+// Weibull is the survival function exp(-(t/Scale)^K). For K <= 1 it is
+// convex; for K > 1 it has a flex point, so its shape is Unknown and
+// only the paper's shape-free results (Theorems 3.1, 3.2) apply — it is
+// the package's stock example of a merely differentiable life function.
+type Weibull struct {
+	K     float64 // shape, > 0
+	Scale float64 // scale, > 0
+}
+
+// NewWeibull returns the Weibull survival life function.
+func NewWeibull(k, scale float64) (Weibull, error) {
+	if !(k > 0) || !(scale > 0) {
+		return Weibull{}, fmt.Errorf("lifefn: weibull parameters must be positive, got k=%g scale=%g", k, scale)
+	}
+	return Weibull{K: k, Scale: scale}, nil
+}
+
+// P implements Life.
+func (w Weibull) P(t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	return math.Exp(-math.Pow(t/w.Scale, w.K))
+}
+
+// Deriv implements Life.
+func (w Weibull) Deriv(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	if t == 0 {
+		if w.K < 1 {
+			return math.Inf(-1)
+		}
+		if w.K > 1 {
+			return 0
+		}
+		return -1 / w.Scale
+	}
+	u := t / w.Scale
+	return -w.K / w.Scale * math.Pow(u, w.K-1) * w.P(t)
+}
+
+// Shape implements Life.
+func (w Weibull) Shape() Shape {
+	if w.K <= 1 {
+		return Convex
+	}
+	return Unknown
+}
+
+// Horizon implements Life.
+func (w Weibull) Horizon() float64 { return math.Inf(1) }
+
+// String implements Life.
+func (w Weibull) String() string { return fmt.Sprintf("weibull(k=%g, scale=%g)", w.K, w.Scale) }
+
+// Func adapts arbitrary closures into a Life. It is the escape hatch for
+// tests and for callers with bespoke survival curves.
+type Func struct {
+	PFunc     func(float64) float64
+	DerivFunc func(float64) float64
+	Curvature Shape
+	Lifespan  float64 // horizon; use math.Inf(1) for unbounded
+	Name      string
+}
+
+// P implements Life.
+func (f Func) P(t float64) float64 { return f.PFunc(t) }
+
+// Deriv implements Life.
+func (f Func) Deriv(t float64) float64 { return f.DerivFunc(t) }
+
+// Shape implements Life.
+func (f Func) Shape() Shape { return f.Curvature }
+
+// Horizon implements Life.
+func (f Func) Horizon() float64 { return f.Lifespan }
+
+// String implements Life.
+func (f Func) String() string {
+	if f.Name != "" {
+		return f.Name
+	}
+	return "func"
+}

@@ -1,0 +1,67 @@
+package lifefn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScaledBasics(t *testing.T) {
+	u, _ := NewUniform(100)
+	s, err := NewScaled(u, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.P(150); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("P(150) = %g, want 0.5", got)
+	}
+	if got := s.Horizon(); got != 300 {
+		t.Errorf("horizon = %g, want 300", got)
+	}
+	if s.Shape() != Linear {
+		t.Errorf("shape = %v", s.Shape())
+	}
+	if err := Validate(s, ValidateOptions{}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaledDerivChainRule(t *testing.T) {
+	p3, _ := NewPoly(3, 50)
+	s, _ := NewScaled(p3, 2)
+	for _, x := range []float64{5, 20, 60, 90} {
+		h := 1e-6 * (1 + x)
+		fd := (s.P(x+h) - s.P(x-h)) / (2 * h)
+		if math.Abs(fd-s.Deriv(x)) > 1e-4*(1+math.Abs(fd)) {
+			t.Errorf("Deriv(%g) = %g, fd = %g", x, s.Deriv(x), fd)
+		}
+	}
+}
+
+func TestScaledUnboundedHorizon(t *testing.T) {
+	g, _ := NewGeomDecreasing(2)
+	s, _ := NewScaled(g, 8)
+	if !math.IsInf(s.Horizon(), 1) {
+		t.Error("scaled unbounded horizon should stay unbounded")
+	}
+	// Scaling an exponential by 8 is an exponential with 8x half-life.
+	g8, _ := NewGeomDecreasing(math.Pow(2, 1.0/8))
+	for i := 0; i <= 30; i++ {
+		x := 30 * float64(i) / 30
+		if math.Abs(s.P(x)-g8.P(x)) > 1e-12 {
+			t.Fatalf("scaled exponential mismatch at %g", x)
+		}
+	}
+}
+
+func TestScaledRejectsBadInput(t *testing.T) {
+	u, _ := NewUniform(10)
+	if _, err := NewScaled(nil, 2); err == nil {
+		t.Error("nil base accepted")
+	}
+	if _, err := NewScaled(u, 0); err == nil {
+		t.Error("zero factor accepted")
+	}
+	if _, err := NewScaled(u, math.Inf(1)); err == nil {
+		t.Error("infinite factor accepted")
+	}
+}

@@ -1,0 +1,99 @@
+package nowsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lifefn"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+func TestCommitProbabilitiesExactSmallCase(t *testing.T) {
+	// Uniform L=10, S=(4, 3): P(0)=p(0)-p(4)=0.4, P(1)=p(4)-p(7)=0.3,
+	// P(2)=p(7)=0.3.
+	l, _ := lifefn.NewUniform(10)
+	s := sched.MustNew(4, 3)
+	probs := sched.CommitProbabilities(s, l)
+	want := []float64{0.4, 0.3, 0.3}
+	if len(probs) != 3 {
+		t.Fatalf("len = %d", len(probs))
+	}
+	for i := range want {
+		if math.Abs(probs[i]-want[i]) > 1e-12 {
+			t.Errorf("P(%d) = %g, want %g", i, probs[i], want[i])
+		}
+	}
+}
+
+func TestCommitProbabilitiesSumToOne(t *testing.T) {
+	l, _ := lifefn.NewGeomIncreasing(64)
+	s := sched.MustNew(40, 12, 6, 3)
+	probs := sched.CommitProbabilities(s, l)
+	sum := 0.0
+	for _, p := range probs {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("probabilities sum to %g", sum)
+	}
+}
+
+func TestValidateDistributionAcceptsCorrectSimulator(t *testing.T) {
+	l, _ := lifefn.NewUniform(100)
+	s := sched.MustNew(20, 19, 18, 17)
+	_, p, err := ValidateDistribution(s, l, 1, 50_000, 99, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1e-4 {
+		t.Errorf("correct simulator rejected: p = %g", p)
+	}
+}
+
+func TestValidateDistributionRejectsWrongModel(t *testing.T) {
+	// Simulate under uniform risk but compare the tallies against the
+	// doubling-risk probabilities: the chi-square statistic must be
+	// decisive.
+	uni, _ := lifefn.NewUniform(64)
+	gi, _ := lifefn.NewGeomIncreasing(64)
+	s := sched.MustNew(30, 15, 8)
+	const n = 50_000
+	counts := make([]int64, s.Len()+1)
+	pol := NewSchedulePolicy(s, "wrong-model")
+	src := rng.New(4242)
+	owner := LifeOwner{Life: uni}
+	for i := 0; i < n; i++ {
+		res := RunEpisode(pol, 1, owner.ReclaimAfter(src))
+		counts[res.PeriodsCommitted]++
+	}
+	wrong := sched.CommitProbabilities(s, gi)
+	stat := 0.0
+	for i := range wrong {
+		e := wrong[i] * float64(n)
+		if e < 10 {
+			continue
+		}
+		d := float64(counts[i]) - e
+		stat += d * d / e
+	}
+	if stat < 100 {
+		t.Errorf("wrong model not rejected: chi2 stat = %g", stat)
+	}
+}
+
+func TestValidateDistributionDeterministic(t *testing.T) {
+	l, _ := lifefn.NewUniform(50)
+	s := sched.MustNew(10, 9, 8)
+	s1, p1, err := ValidateDistribution(s, l, 1, 5000, 7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, p2, err := ValidateDistribution(s, l, 1, 5000, 7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 || p1 != p2 {
+		t.Error("same seed produced different chi-square results")
+	}
+}

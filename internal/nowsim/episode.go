@@ -1,0 +1,211 @@
+package nowsim
+
+import (
+	"fmt"
+
+	"repro/internal/lifefn"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// EpisodeResult is the outcome of one cycle-stealing episode.
+type EpisodeResult struct {
+	// Work is the committed work: Σ (t_i - c) over completed periods.
+	Work float64
+	// Lost is the work in progress destroyed when the owner returned
+	// (zero if the episode ended voluntarily).
+	Lost float64
+	// Overhead is the communication time spent on completed periods.
+	Overhead float64
+	// PeriodsDispatched counts all periods started.
+	PeriodsDispatched int
+	// PeriodsCommitted counts periods that completed before reclaim.
+	PeriodsCommitted int
+	// Duration is the episode wall time: min(reclaim, voluntary end).
+	Duration float64
+	// Reclaimed reports whether the owner's return ended the episode.
+	Reclaimed bool
+}
+
+// RunEpisode plays one episode under the paper's draconian semantics,
+// as a discrete-event simulation: the coordinator dispatches periods
+// according to policy; a period whose end arrives before the owner's
+// return commits t-c units of work; the owner's return at reclaim kills
+// the period in flight and ends the episode. c is the per-period
+// communication overhead; reclaim is the (externally sampled) time of
+// the owner's return.
+func RunEpisode(policy Policy, c, reclaim float64) EpisodeResult {
+	if c < 0 {
+		panic(fmt.Sprintf("nowsim: negative overhead %g", c))
+	}
+	policy.Reset()
+	var (
+		eng   Engine
+		res   EpisodeResult
+		end   bool
+		owner Handle
+	)
+	ownerBack := func() {
+		// Kills whatever is in flight: the dispatch loop checks `end`
+		// before committing.
+		end = true
+		res.Reclaimed = true
+		res.Duration = eng.Now()
+	}
+	if reclaim >= 0 && reclaim < 1e300 {
+		owner = eng.At(reclaim, ownerBack)
+	}
+	var dispatch func()
+	dispatch = func() {
+		if end {
+			return
+		}
+		t, ok := policy.NextPeriod(eng.Now())
+		if !ok || t <= 0 {
+			// Voluntary end: the episode is over before the owner
+			// returns; the pending owner event must not fire.
+			end = true
+			res.Duration = eng.Now()
+			owner.Cancel()
+			return
+		}
+		res.PeriodsDispatched++
+		periodEnd := eng.Now() + t
+		if periodEnd < reclaim {
+			// Period completes: results return to the coordinator.
+			eng.At(periodEnd, func() {
+				if end {
+					return
+				}
+				res.PeriodsCommitted++
+				res.Work += sched.PositiveSub(t, c)
+				if t > c {
+					res.Overhead += c
+				} else {
+					res.Overhead += t
+				}
+				dispatch()
+			})
+			return
+		}
+		// The owner returns at or before the period boundary ("if B is
+		// reclaimed by time T_k, the episode ends"): the work is lost.
+		res.Lost += sched.PositiveSub(t, c)
+	}
+	dispatch()
+	eng.RunAll()
+	if !res.Reclaimed && res.Duration == 0 {
+		res.Duration = eng.Now()
+	}
+	return res
+}
+
+// MonteCarloResult aggregates a Monte-Carlo run of episodes.
+type MonteCarloResult struct {
+	Work      stats.Summary
+	Lost      stats.Summary
+	Periods   stats.Summary
+	Reclaimed int64
+	Episodes  int64
+}
+
+// MonteCarlo runs n independent episodes of policy against owner with
+// overhead c, using a deterministic stream seeded by seed, and returns
+// aggregate statistics. The mean of Work estimates E(S; p) when the
+// policy plays a fixed schedule and the owner's survival is p.
+func MonteCarlo(policy Policy, owner Owner, c float64, n int, seed uint64) MonteCarloResult {
+	src := rng.New(seed)
+	var work, lost, periods stats.Running
+	var reclaimed int64
+	for i := 0; i < n; i++ {
+		r := owner.ReclaimAfter(src)
+		res := RunEpisode(policy, c, r)
+		work.Add(res.Work)
+		lost.Add(res.Lost)
+		periods.Add(float64(res.PeriodsCommitted))
+		if res.Reclaimed {
+			reclaimed++
+		}
+	}
+	return MonteCarloResult{
+		Work:      stats.Summarize(&work),
+		Lost:      stats.Summarize(&lost),
+		Periods:   stats.Summarize(&periods),
+		Reclaimed: reclaimed,
+		Episodes:  int64(n),
+	}
+}
+
+// ValidateDistribution runs n episodes of a fixed schedule and tests
+// the full distribution of committed-period counts against the exact
+// probabilities of sched.CommitProbabilities with Pearson's chi-square.
+// Cells with expected count below minExpected are merged into their
+// left neighbour (the standard validity adjustment). It returns the
+// statistic and p-value; a p-value that is not minuscule on large n
+// validates the simulator beyond the mean identity.
+func ValidateDistribution(s sched.Schedule, l lifefn.Life, c float64, n int, seed uint64, minExpected float64) (stat, p float64, err error) {
+	if minExpected <= 0 {
+		minExpected = 10
+	}
+	probs := sched.CommitProbabilities(s, l)
+	counts := make([]int64, len(probs))
+	src := rng.New(seed)
+	owner := LifeOwner{Life: l}
+	pol := NewSchedulePolicy(s, "validate-dist")
+	for i := 0; i < n; i++ {
+		res := RunEpisode(pol, c, owner.ReclaimAfter(src))
+		k := res.PeriodsCommitted
+		if k >= len(counts) {
+			k = len(counts) - 1
+		}
+		counts[k]++
+	}
+	// Merge low-expectation cells leftward.
+	var mergedObs []int64
+	var mergedExp []float64
+	for i := range probs {
+		e := probs[i] * float64(n)
+		o := counts[i]
+		if len(mergedExp) > 0 && (e < minExpected || mergedExp[len(mergedExp)-1] < minExpected) {
+			mergedExp[len(mergedExp)-1] += e
+			mergedObs[len(mergedObs)-1] += o
+			continue
+		}
+		mergedExp = append(mergedExp, e)
+		mergedObs = append(mergedObs, o)
+	}
+	// Drop zero-probability cells that stayed empty.
+	obs := mergedObs[:0:0]
+	exp := mergedExp[:0:0]
+	for i := range mergedExp {
+		if mergedExp[i] > 0 {
+			obs = append(obs, mergedObs[i])
+			exp = append(exp, mergedExp[i])
+		} else if mergedObs[i] != 0 {
+			return 0, 0, fmt.Errorf("nowsim: %d episodes landed in a zero-probability cell", mergedObs[i])
+		}
+	}
+	return stats.ChiSquare(obs, exp, 0)
+}
+
+// ValidateExpectedWork runs a Monte-Carlo estimate of a schedule's work
+// under life function l and returns the analytic E(S; p), the estimate,
+// and the absolute z-score of their difference (estimate standard
+// errors). A z-score below ~4 on a large n validates equation (2.1).
+func ValidateExpectedWork(s sched.Schedule, l lifefn.Life, c float64, n int, seed uint64) (analytic float64, mc stats.Summary, z float64) {
+	analytic = sched.ExpectedWork(s, l, c)
+	res := MonteCarlo(NewSchedulePolicy(s, "validate"), LifeOwner{Life: l}, c, n, seed)
+	mc = res.Work
+	if mc.StdErr > 0 {
+		z = abs(mc.Mean-analytic) / mc.StdErr
+	}
+	return analytic, mc, z
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

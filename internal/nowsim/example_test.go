@@ -1,0 +1,31 @@
+package nowsim_test
+
+import (
+	"fmt"
+
+	"repro/internal/nowsim"
+	"repro/internal/sched"
+)
+
+// One deterministic episode: the owner returns at time 8, killing the
+// third period.
+func ExampleRunEpisode() {
+	schedule := sched.MustNew(4, 3, 2)
+	policy := nowsim.NewSchedulePolicy(schedule, "demo")
+	res := nowsim.RunEpisode(policy, 1, 8)
+	fmt.Printf("work=%.0f lost=%.0f committed=%d/%d reclaimed=%v\n",
+		res.Work, res.Lost, res.PeriodsCommitted, res.PeriodsDispatched, res.Reclaimed)
+	// Output: work=5 lost=1 committed=2/3 reclaimed=true
+}
+
+// Task-level dispatch: indivisible tasks pack into period budgets; a
+// killed bundle returns to the pool.
+func ExampleRunTaskEpisode() {
+	pool, _ := nowsim.NewUniformTasks(6, 2) // six 2-unit tasks
+	schedule := sched.MustNew(5, 5)         // budgets of 4 after overhead
+	policy := nowsim.NewSchedulePolicy(schedule, "demo")
+	res := nowsim.RunTaskEpisode(policy, pool, 1, 7) // reclaim mid-second-period
+	fmt.Printf("completed=%d lost=%d backInPool=%d\n",
+		res.TasksCompleted, res.TasksLost, pool.Remaining())
+	// Output: completed=2 lost=2 backInPool=4
+}

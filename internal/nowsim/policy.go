@@ -1,0 +1,109 @@
+package nowsim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/lifefn"
+	"repro/internal/sched"
+)
+
+// Policy decides, period by period, how much of the borrowed
+// workstation's time the coordinator commits next. elapsed is the
+// episode time consumed so far. ok=false ends the episode voluntarily.
+//
+// Policies are stateful and single-episode; Reset is called between
+// episodes so one value can be reused across Monte-Carlo replications.
+type Policy interface {
+	NextPeriod(elapsed float64) (t float64, ok bool)
+	Reset()
+	String() string
+}
+
+// SchedulePolicy plays out a precomputed schedule (guideline, optimal
+// or baseline).
+type SchedulePolicy struct {
+	Schedule sched.Schedule
+	Name     string
+	next     int
+}
+
+// NewSchedulePolicy wraps a schedule as a policy.
+func NewSchedulePolicy(s sched.Schedule, name string) *SchedulePolicy {
+	return &SchedulePolicy{Schedule: s, Name: name}
+}
+
+// NextPeriod implements Policy.
+func (p *SchedulePolicy) NextPeriod(elapsed float64) (float64, bool) {
+	if p.next >= p.Schedule.Len() {
+		return 0, false
+	}
+	t := p.Schedule.Period(p.next)
+	p.next++
+	return t, true
+}
+
+// Reset implements Policy.
+func (p *SchedulePolicy) Reset() { p.next = 0 }
+
+// String implements Policy.
+func (p *SchedulePolicy) String() string {
+	if p.Name != "" {
+		return p.Name
+	}
+	return "schedule"
+}
+
+// ProgressivePolicy re-plans each period from the survival observed so
+// far, via core.Progressive (the Section 6 conditional-probability
+// regimen).
+type ProgressivePolicy struct {
+	prog *core.Progressive
+	name string
+}
+
+// NewProgressivePolicy builds a progressive policy over life function l
+// with overhead c.
+func NewProgressivePolicy(l lifefn.Life, c float64, opt core.PlanOptions) (*ProgressivePolicy, error) {
+	prog, err := core.NewProgressive(l, c, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &ProgressivePolicy{prog: prog, name: fmt.Sprintf("progressive(%s)", l)}, nil
+}
+
+// NextPeriod implements Policy. Planning errors surface as a voluntary
+// stop; the simulator treats them as "no further work dispatched".
+func (p *ProgressivePolicy) NextPeriod(elapsed float64) (float64, bool) {
+	t, ok, err := p.prog.NextPeriod()
+	if err != nil || !ok {
+		return 0, false
+	}
+	return t, true
+}
+
+// Reset implements Policy.
+func (p *ProgressivePolicy) Reset() { p.prog.Reset() }
+
+// String implements Policy.
+func (p *ProgressivePolicy) String() string { return p.name }
+
+// FixedChunkPolicy dispatches constant-length periods forever (the
+// practitioner's "pick a chunk size" baseline, unbounded variant).
+type FixedChunkPolicy struct {
+	Chunk float64
+}
+
+// NextPeriod implements Policy.
+func (p *FixedChunkPolicy) NextPeriod(elapsed float64) (float64, bool) {
+	if p.Chunk <= 0 {
+		return 0, false
+	}
+	return p.Chunk, true
+}
+
+// Reset implements Policy.
+func (p *FixedChunkPolicy) Reset() {}
+
+// String implements Policy.
+func (p *FixedChunkPolicy) String() string { return fmt.Sprintf("fixed(%g)", p.Chunk) }

@@ -1,0 +1,122 @@
+package nowsim
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// EventKind tags entries of an episode's event log.
+type EventKind int
+
+const (
+	// EventDispatch: the coordinator sent a period's work to the
+	// borrowed workstation.
+	EventDispatch EventKind = iota
+	// EventCommit: a period completed and its results returned.
+	EventCommit
+	// EventKill: the owner returned mid-period, destroying it.
+	EventKill
+	// EventVoluntaryEnd: the policy declined to dispatch further work.
+	EventVoluntaryEnd
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventDispatch:
+		return "dispatch"
+	case EventCommit:
+		return "commit"
+	case EventKill:
+		return "kill"
+	case EventVoluntaryEnd:
+		return "voluntary-end"
+	default:
+		return "unknown"
+	}
+}
+
+// EpisodeEvent is one entry of an episode's event log.
+type EpisodeEvent struct {
+	Time   float64
+	Kind   EventKind
+	Period int     // period index (-1 for voluntary end)
+	Length float64 // period length for dispatch/commit/kill
+}
+
+// String renders the event for debugging output.
+func (e EpisodeEvent) String() string {
+	return fmt.Sprintf("t=%.4g %s period=%d len=%.4g", e.Time, e.Kind, e.Period, e.Length)
+}
+
+// RunEpisodeRecorded is RunEpisode plus a full event log — the
+// observability hook for debugging policies and for teaching: the log
+// shows exactly which periods the schedule risked and what the owner's
+// return destroyed.
+func RunEpisodeRecorded(policy Policy, c, reclaim float64) (EpisodeResult, []EpisodeEvent) {
+	if c < 0 {
+		panic(fmt.Sprintf("nowsim: negative overhead %g", c))
+	}
+	policy.Reset()
+	var (
+		eng   Engine
+		res   EpisodeResult
+		log   []EpisodeEvent
+		end   bool
+		owner Handle
+	)
+	ownerBack := func() {
+		end = true
+		res.Reclaimed = true
+		res.Duration = eng.Now()
+	}
+	if reclaim >= 0 && reclaim < 1e300 {
+		owner = eng.At(reclaim, ownerBack)
+	}
+	var dispatch func()
+	dispatch = func() {
+		if end {
+			return
+		}
+		t, ok := policy.NextPeriod(eng.Now())
+		if !ok || t <= 0 {
+			end = true
+			res.Duration = eng.Now()
+			owner.Cancel()
+			log = append(log, EpisodeEvent{Time: eng.Now(), Kind: EventVoluntaryEnd, Period: -1})
+			return
+		}
+		idx := res.PeriodsDispatched
+		res.PeriodsDispatched++
+		log = append(log, EpisodeEvent{Time: eng.Now(), Kind: EventDispatch, Period: idx, Length: t})
+		periodEnd := eng.Now() + t
+		if periodEnd < reclaim {
+			eng.At(periodEnd, func() {
+				if end {
+					return
+				}
+				res.PeriodsCommitted++
+				res.Work += sched.PositiveSub(t, c)
+				if t > c {
+					res.Overhead += c
+				} else {
+					res.Overhead += t
+				}
+				log = append(log, EpisodeEvent{Time: eng.Now(), Kind: EventCommit, Period: idx, Length: t})
+				dispatch()
+			})
+			return
+		}
+		res.Lost += sched.PositiveSub(t, c)
+		eng.At(reclaim, func() {
+			log = append(log, EpisodeEvent{Time: eng.Now(), Kind: EventKill, Period: idx, Length: t})
+		})
+	}
+	dispatch()
+	eng.RunAll()
+	if !res.Reclaimed && res.Duration == 0 {
+		res.Duration = eng.Now()
+	}
+	return res, log
+}

@@ -1,0 +1,127 @@
+package nowsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+func TestTaskPoolBasics(t *testing.T) {
+	p, err := NewUniformTasks(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Remaining() != 10 || p.RemainingWork() != 20 {
+		t.Errorf("remaining %d/%g", p.Remaining(), p.RemainingWork())
+	}
+	bundle, used := p.TakeBundle(5)
+	if len(bundle) != 2 || used != 4 {
+		t.Errorf("bundle %d tasks, %g work", len(bundle), used)
+	}
+	if p.Remaining() != 8 {
+		t.Errorf("remaining = %d", p.Remaining())
+	}
+	p.Commit(bundle)
+	if len(p.Completed()) != 2 || p.CompletedWork() != 4 {
+		t.Errorf("completed %d/%g", len(p.Completed()), p.CompletedWork())
+	}
+}
+
+func TestTaskPoolRequeuePreservesOrder(t *testing.T) {
+	p, _ := NewUniformTasks(4, 1)
+	bundle, _ := p.TakeBundle(2) // tasks 0, 1
+	p.Requeue(bundle)
+	next, _ := p.TakeBundle(1)
+	if len(next) != 1 || next[0].ID != 0 {
+		t.Errorf("requeued task not at front: %+v", next)
+	}
+	if math.Abs(p.RemainingWork()-3) > 1e-12 {
+		t.Errorf("remaining work = %g", p.RemainingWork())
+	}
+}
+
+func TestTakeBundleIndivisible(t *testing.T) {
+	p := &TaskPool{}
+	p.Push(Task{ID: 0, Duration: 3})
+	p.Push(Task{ID: 1, Duration: 3})
+	bundle, used := p.TakeBundle(4)
+	if len(bundle) != 1 || used != 3 {
+		t.Errorf("bundle %v used %g; tasks must not split", bundle, used)
+	}
+	// Nothing fits in a tiny budget.
+	empty, _ := p.TakeBundle(1)
+	if len(empty) != 0 {
+		t.Error("bundle packed beyond budget")
+	}
+}
+
+func TestNewRandomTasks(t *testing.T) {
+	src := rng.New(3)
+	p, err := NewRandomTasks(100, 1, 2, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Remaining() != 100 {
+		t.Fatal("wrong count")
+	}
+	for _, task := range p.queue {
+		if task.Duration < 1 || task.Duration >= 2 {
+			t.Fatalf("duration %g outside [1, 2)", task.Duration)
+		}
+	}
+	if _, err := NewRandomTasks(-1, 1, 2, src); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := NewUniformTasks(5, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestRunTaskEpisodeQuantization(t *testing.T) {
+	// Period 10, c=1 → budget 9; tasks of 4 pack 2 per bundle (slack 1).
+	pool, _ := NewUniformTasks(10, 4)
+	s := sched.MustNew(10, 10)
+	res := RunTaskEpisode(NewSchedulePolicy(s, ""), pool, 1, 1000)
+	if res.TasksCompleted != 4 {
+		t.Errorf("completed %d tasks, want 4", res.TasksCompleted)
+	}
+	if math.Abs(res.Work-16) > 1e-12 {
+		t.Errorf("work = %g, want 16", res.Work)
+	}
+	if math.Abs(res.Slack-2) > 1e-12 {
+		t.Errorf("slack = %g, want 2", res.Slack)
+	}
+	if pool.Remaining() != 6 {
+		t.Errorf("remaining = %d", pool.Remaining())
+	}
+}
+
+func TestRunTaskEpisodeLostBundleRequeued(t *testing.T) {
+	pool, _ := NewUniformTasks(4, 2)
+	s := sched.MustNew(5, 5) // second period killed at reclaim 7
+	res := RunTaskEpisode(NewSchedulePolicy(s, ""), pool, 1, 7)
+	if res.TasksCompleted != 2 || res.TasksLost != 2 {
+		t.Errorf("completed/lost = %d/%d", res.TasksCompleted, res.TasksLost)
+	}
+	// Lost tasks must be back in the pool.
+	if pool.Remaining() != 2 {
+		t.Errorf("remaining = %d, want 2 (requeued)", pool.Remaining())
+	}
+	if res.Work != 4 || res.Lost != 4 {
+		t.Errorf("work/lost = %g/%g", res.Work, res.Lost)
+	}
+}
+
+func TestRunTaskEpisodeStopsWhenNothingFits(t *testing.T) {
+	pool, _ := NewUniformTasks(2, 50)
+	s := sched.MustNew(10, 10)
+	res := RunTaskEpisode(NewSchedulePolicy(s, ""), pool, 1, 1000)
+	if res.PeriodsDispatched != 0 {
+		t.Errorf("dispatched %d periods with oversized tasks", res.PeriodsDispatched)
+	}
+	if res.Reclaimed {
+		t.Error("voluntary stop misreported as reclaim")
+	}
+}

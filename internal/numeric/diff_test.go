@@ -1,0 +1,65 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDerivativeExp(t *testing.T) {
+	for _, x := range []float64{0, 0.5, 1, 10, 100} {
+		got := Derivative(math.Exp, x)
+		want := math.Exp(x)
+		if math.Abs(got-want)/want > 1e-8 {
+			t.Errorf("d/dx exp at %g = %.12g, want %.12g", x, got, want)
+		}
+	}
+}
+
+func TestDerivativePropertyPolynomials(t *testing.T) {
+	// Property: derivative of ax² + bx at random points matches 2ax + b.
+	check := func(ai, bi, xi int8) bool {
+		a, b, x := float64(ai)/16, float64(bi)/16, float64(xi)/16
+		f := func(v float64) float64 { return a*v*v + b*v }
+		got := Derivative(f, x)
+		want := 2*a*x + b
+		return math.Abs(got-want) <= 1e-7*(1+math.Abs(want))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDerivativeOneSided(t *testing.T) {
+	// Survival curve defined only on [0, L]: left endpoint needs a
+	// forward stencil, right endpoint a backward one.
+	l := 100.0
+	p := func(x float64) float64 { return 1 - x*x/(l*l) }
+	fwd := DerivativeOneSided(p, 0, +1)
+	if math.Abs(fwd-0) > 1e-8 {
+		t.Errorf("forward derivative at 0 = %g, want 0", fwd)
+	}
+	back := DerivativeOneSided(p, l, -1)
+	want := -2 / l
+	if math.Abs(back-want) > 1e-6 {
+		t.Errorf("backward derivative at L = %g, want %g", back, want)
+	}
+}
+
+func TestSecondDerivative(t *testing.T) {
+	got := SecondDerivative(func(x float64) float64 { return x * x * x }, 2)
+	if math.Abs(got-12) > 1e-3 {
+		t.Errorf("f'' = %g, want 12", got)
+	}
+}
+
+func TestSecondDerivativeSignClassifiesCurvature(t *testing.T) {
+	concave := func(x float64) float64 { return 1 - x*x }
+	convex := func(x float64) float64 { return math.Exp(-x) }
+	if SecondDerivative(concave, 1) >= 0 {
+		t.Error("concave function reported nonnegative second derivative")
+	}
+	if SecondDerivative(convex, 1) <= 0 {
+		t.Error("convex function reported nonpositive second derivative")
+	}
+}

@@ -1,0 +1,125 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestBisectMaxIterations(t *testing.T) {
+	// One iteration cannot resolve a root to 1e-12.
+	_, err := Bisect(func(x float64) float64 { return x - 0.37 }, 0, 1, RootOptions{MaxIter: 1})
+	if !errors.Is(err, ErrMaxIterations) {
+		t.Errorf("err = %v, want ErrMaxIterations", err)
+	}
+}
+
+func TestBisectNonFinite(t *testing.T) {
+	_, err := Bisect(func(x float64) float64 { return math.NaN() }, 0, 1, RootOptions{})
+	if !errors.Is(err, ErrNonFinite) {
+		t.Errorf("err = %v", err)
+	}
+	// NaN appearing mid-iteration.
+	f := func(x float64) float64 {
+		if x > 0.4 && x < 0.6 {
+			return math.NaN()
+		}
+		return x - 0.37
+	}
+	if _, err := Bisect(f, 0, 1, RootOptions{}); !errors.Is(err, ErrNonFinite) {
+		t.Errorf("mid-iteration NaN: err = %v", err)
+	}
+}
+
+func TestBrentRootAtEndpoints(t *testing.T) {
+	r, err := Brent(func(x float64) float64 { return x }, 0, 1, RootOptions{})
+	if err != nil || r != 0 {
+		t.Errorf("left endpoint root: %g, %v", r, err)
+	}
+	r, err = Brent(func(x float64) float64 { return x - 1 }, 0, 1, RootOptions{})
+	if err != nil || r != 1 {
+		t.Errorf("right endpoint root: %g, %v", r, err)
+	}
+}
+
+func TestNewtonBadInterval(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	df := func(x float64) float64 { return 1 }
+	if _, err := Newton(f, df, 0, 1, -1, RootOptions{}); !errors.Is(err, ErrInvalidInterval) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestNewtonNonFinite(t *testing.T) {
+	f := func(x float64) float64 { return math.NaN() }
+	df := func(x float64) float64 { return 1 }
+	if _, err := Newton(f, df, 0.5, 0, 1, RootOptions{}); !errors.Is(err, ErrNonFinite) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMaximizeGoldenInvalidInterval(t *testing.T) {
+	if _, _, err := MaximizeGolden(func(x float64) float64 { return x }, 2, 1, MaxOptions{}); err == nil {
+		t.Error("reversed interval accepted")
+	}
+	if _, _, err := MaximizeScan(func(x float64) float64 { return x }, 2, 1, 8, MaxOptions{}); err == nil {
+		t.Error("reversed interval accepted by scan")
+	}
+}
+
+func TestMaximizeScanDegenerate(t *testing.T) {
+	x, fx, err := MaximizeScan(func(x float64) float64 { return -x * x }, 3, 3, 8, MaxOptions{})
+	if err != nil || x != 3 || fx != -9 {
+		t.Errorf("degenerate scan: (%g, %g, %v)", x, fx, err)
+	}
+	// n < 2 is clamped, not rejected.
+	if _, _, err := MaximizeScan(func(x float64) float64 { return -x * x }, 0, 1, 1, MaxOptions{}); err != nil {
+		t.Errorf("n=1 rejected: %v", err)
+	}
+}
+
+func TestMaximizeScanGuardPrefersGridWhenGoldenWorse(t *testing.T) {
+	// A spike the golden refinement can converge away from: the guard
+	// must return the better grid sample.
+	spike := func(x float64) float64 {
+		if math.Abs(x-0.5) < 1e-4 {
+			return 10
+		}
+		return math.Sin(20 * x)
+	}
+	// Grid with a point at exactly 0.5 (n divides evenly).
+	x, fx, err := MaximizeScan(spike, 0, 1, 10, MaxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fx < 10 {
+		t.Errorf("lost the spike: argmax %g value %g", x, fx)
+	}
+}
+
+func TestIntegrateDepthExhausted(t *testing.T) {
+	// A pathological oscillator with depth 1 cannot meet 1e-12.
+	f := func(x float64) float64 { return math.Sin(1000 * x) }
+	_, err := Integrate(f, 0, 10, QuadOptions{Tol: 1e-14, MaxDepth: 2})
+	if !errors.Is(err, ErrMaxIterations) {
+		t.Errorf("err = %v, want depth exhaustion", err)
+	}
+}
+
+func TestDerivativeOneSidedForward(t *testing.T) {
+	// Forward stencil at zero for sqrt-like one-sided functions.
+	f := func(x float64) float64 { return 3*x + 1 }
+	if d := DerivativeOneSided(f, 0, +1); math.Abs(d-3) > 1e-6 {
+		t.Errorf("forward derivative = %g", d)
+	}
+}
+
+func TestNelderMeadOneDimension(t *testing.T) {
+	x, fx := NelderMead(func(v []float64) float64 {
+		d := v[0] - 2.5
+		return d * d
+	}, []float64{0}, NelderMeadOptions{})
+	if math.Abs(x[0]-2.5) > 1e-4 || fx > 1e-8 {
+		t.Errorf("1-D Nelder-Mead: %v, %g", x, fx)
+	}
+}

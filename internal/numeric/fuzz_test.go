@@ -1,0 +1,64 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func FuzzPCHIPStaysInRange(f *testing.F) {
+	f.Add(uint8(10), uint8(20), uint8(30), uint8(40))
+	f.Add(uint8(0), uint8(0), uint8(255), uint8(1))
+	f.Add(uint8(255), uint8(254), uint8(253), uint8(252))
+	f.Fuzz(func(t *testing.T, a, b, c, d uint8) {
+		// Build a nonincreasing survival-style curve from the fuzz
+		// bytes.
+		drops := []float64{float64(a), float64(b), float64(c), float64(d)}
+		xs := []float64{0, 1, 2, 3, 4}
+		ys := make([]float64, 5)
+		cur := 1.0
+		ys[0] = cur
+		for i, drop := range drops {
+			cur -= drop / (4 * 256)
+			if cur < 0 {
+				cur = 0
+			}
+			ys[i+1] = cur
+		}
+		p, err := NewPCHIP(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := math.Inf(1)
+		for i := 0; i <= 200; i++ {
+			x := 4 * float64(i) / 200
+			v := p.At(x)
+			if v < ys[4]-1e-9 || v > 1+1e-9 {
+				t.Fatalf("interpolant %g outside data range at %g", v, x)
+			}
+			if v > prev+1e-9 {
+				t.Fatalf("interpolant increases at %g", x)
+			}
+			prev = v
+		}
+	})
+}
+
+func FuzzBrentPlantedRoot(f *testing.F) {
+	f.Add(uint16(100))
+	f.Add(uint16(65535))
+	f.Add(uint16(0))
+	f.Fuzz(func(t *testing.T, seed uint16) {
+		root := float64(seed)/65536*8 + 1 // (1, 9)
+		fn := func(x float64) float64 {
+			d := x - root
+			return d + 0.1*d*d*d
+		}
+		got, err := Brent(fn, 0, 10, RootOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-root) > 1e-8 {
+			t.Fatalf("root = %g, want %g", got, root)
+		}
+	})
+}

@@ -1,0 +1,223 @@
+package numeric
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// invPhi is 1/φ, the golden-section ratio used by MaximizeGolden.
+const invPhi = 0.6180339887498949
+
+// MaxOptions configures the one-dimensional maximizers.
+type MaxOptions struct {
+	// Tol is the absolute tolerance on the argmax location. If zero,
+	// 1e-10 is used.
+	Tol float64
+	// MaxIter bounds the number of iterations. If zero, 300 is used.
+	MaxIter int
+}
+
+func (o MaxOptions) withDefaults() MaxOptions {
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 300
+	}
+	return o
+}
+
+// MaximizeGolden maximizes a unimodal f on [a, b] by golden-section
+// search. It returns the argmax and the maximum value. For non-unimodal
+// f it converges to some local maximum inside the interval.
+func MaximizeGolden(f func(float64) float64, a, b float64, opt MaxOptions) (x, fx float64, err error) {
+	opt = opt.withDefaults()
+	if !(a <= b) {
+		return 0, 0, fmt.Errorf("%w: [%g, %g]", ErrInvalidInterval, a, b)
+	}
+	if a == b {
+		return a, f(a), nil
+	}
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for i := 0; i < opt.MaxIter && b-a > opt.Tol; i++ {
+		if f1 < f2 {
+			a = x1
+			x1, f1 = x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		} else {
+			b = x2
+			x2, f2 = x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = f(x1)
+		}
+	}
+	if f1 > f2 {
+		return x1, f1, nil
+	}
+	return x2, f2, nil
+}
+
+// MaximizeScan evaluates f at n+1 evenly spaced points of [a, b], then
+// refines around the best sample with golden-section search over the two
+// adjacent cells. It is robust to multimodality at the sampled scale and
+// is the workhorse behind the t0 searches: the guideline bounds give a
+// narrow [a, b], the scan localizes the mode, and golden section
+// polishes it.
+func MaximizeScan(f func(float64) float64, a, b float64, n int, opt MaxOptions) (x, fx float64, err error) {
+	if !(a <= b) {
+		return 0, 0, fmt.Errorf("%w: [%g, %g]", ErrInvalidInterval, a, b)
+	}
+	if n < 2 {
+		n = 2
+	}
+	if a == b {
+		return a, f(a), nil
+	}
+	h := (b - a) / float64(n)
+	bestI, bestF := 0, math.Inf(-1)
+	for i := 0; i <= n; i++ {
+		v := f(a + float64(i)*h)
+		if v > bestF {
+			bestI, bestF = i, v
+		}
+	}
+	lo := a + float64(bestI-1)*h
+	hi := a + float64(bestI+1)*h
+	if lo < a {
+		lo = a
+	}
+	if hi > b {
+		hi = b
+	}
+	x, fx, err = MaximizeGolden(f, lo, hi, opt)
+	if err != nil {
+		return 0, 0, err
+	}
+	if bestF > fx {
+		// Guard against golden section landing on a worse local mode.
+		return a + float64(bestI)*h, bestF, nil
+	}
+	return x, fx, nil
+}
+
+// NelderMeadOptions configures NelderMead.
+type NelderMeadOptions struct {
+	// Tol is the convergence tolerance on the simplex function-value
+	// spread. If zero, 1e-10 is used.
+	Tol float64
+	// MaxIter bounds the number of simplex transformations. If zero,
+	// 2000 per dimension is used.
+	MaxIter int
+	// Step is the initial simplex edge length. If zero, 5% of each
+	// coordinate's magnitude (min 0.1) is used.
+	Step float64
+}
+
+// NelderMead minimizes f starting from x0 using the Nelder–Mead simplex
+// algorithm with standard coefficients (reflection 1, expansion 2,
+// contraction 0.5, shrink 0.5). It returns the best point found and its
+// value. The input slice is not modified.
+//
+// The cycle-stealing code uses it (negated) as a scenario-agnostic
+// ground-truth maximizer of expected work over period vectors, to
+// cross-check the guideline schedules.
+func NelderMead(f func([]float64) float64, x0 []float64, opt NelderMeadOptions) ([]float64, float64) {
+	n := len(x0)
+	if n == 0 {
+		return nil, f(nil)
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-10
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 2000 * n
+	}
+
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	simplex := make([]vertex, n+1)
+	base := append([]float64(nil), x0...)
+	simplex[0] = vertex{base, f(base)}
+	for i := 0; i < n; i++ {
+		x := append([]float64(nil), base...)
+		step := opt.Step
+		if step <= 0 {
+			step = 0.05 * math.Abs(x[i])
+			if step < 0.1 {
+				step = 0.1
+			}
+		}
+		x[i] += step
+		simplex[i+1] = vertex{x, f(x)}
+	}
+	order := func() {
+		sort.SliceStable(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+	}
+	centroid := make([]float64, n)
+	trial := make([]float64, n)
+
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		order()
+		best, worst := simplex[0], simplex[n]
+		if math.Abs(worst.f-best.f) <= opt.Tol*(math.Abs(best.f)+opt.Tol) {
+			break
+		}
+		// Centroid of all but the worst vertex.
+		for j := range centroid {
+			centroid[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			for j := range centroid {
+				centroid[j] += simplex[i].x[j]
+			}
+		}
+		for j := range centroid {
+			centroid[j] /= float64(n)
+		}
+		at := func(coef float64) float64 {
+			for j := range trial {
+				trial[j] = centroid[j] + coef*(centroid[j]-worst.x[j])
+			}
+			return f(trial)
+		}
+		replaceWorst := func(v float64) {
+			copy(simplex[n].x, trial)
+			simplex[n].f = v
+		}
+
+		fr := at(1) // reflection
+		switch {
+		case fr < best.f:
+			fe := at(2) // expansion
+			if fe < fr {
+				replaceWorst(fe)
+			} else {
+				_ = at(1)
+				replaceWorst(fr)
+			}
+		case fr < simplex[n-1].f:
+			replaceWorst(fr)
+		default:
+			fc := at(-0.5) // inside contraction
+			if fc < worst.f {
+				replaceWorst(fc)
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i <= n; i++ {
+					for j := range simplex[i].x {
+						simplex[i].x[j] = best.x[j] + 0.5*(simplex[i].x[j]-best.x[j])
+					}
+					simplex[i].f = f(simplex[i].x)
+				}
+			}
+		}
+	}
+	order()
+	return append([]float64(nil), simplex[0].x...), simplex[0].f
+}

@@ -1,0 +1,121 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaximizeGoldenParabola(t *testing.T) {
+	x, fx, err := MaximizeGolden(func(x float64) float64 { return -(x - 3) * (x - 3) }, 0, 10, MaxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x, 3, 1e-7) || !almostEqual(fx, 0, 1e-12) {
+		t.Errorf("argmax = %g (f=%g), want 3 (0)", x, fx)
+	}
+}
+
+func TestMaximizeGoldenMonotone(t *testing.T) {
+	// Maximum at the right endpoint.
+	x, _, err := MaximizeGolden(func(x float64) float64 { return x }, 0, 5, MaxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x, 5, 1e-6) {
+		t.Errorf("argmax = %g, want 5", x)
+	}
+}
+
+func TestMaximizeGoldenDegenerateInterval(t *testing.T) {
+	x, fx, err := MaximizeGolden(func(x float64) float64 { return -x * x }, 2, 2, MaxOptions{})
+	if err != nil || x != 2 || fx != -4 {
+		t.Errorf("got (%g, %g, %v), want (2, -4, nil)", x, fx, err)
+	}
+}
+
+func TestMaximizeScanExpectedYieldShape(t *testing.T) {
+	// The greedy objective (t-c)·p(t) for uniform risk: maximum of
+	// (t-1)(1-t/100) at t = (1+100)/2 = 50.5.
+	f := func(x float64) float64 { return (x - 1) * (1 - x/100) }
+	x, _, err := MaximizeScan(f, 1, 100, 32, MaxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x, 50.5, 1e-6) {
+		t.Errorf("argmax = %g, want 50.5", x)
+	}
+}
+
+func TestMaximizeScanMultimodalPicksGlobal(t *testing.T) {
+	// Two humps; the taller one is at x ≈ 8.
+	f := func(x float64) float64 {
+		return math.Exp(-(x-2)*(x-2)) + 2*math.Exp(-(x-8)*(x-8))
+	}
+	x, _, err := MaximizeScan(f, 0, 10, 64, MaxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x, 8, 1e-4) {
+		t.Errorf("argmax = %g, want 8", x)
+	}
+}
+
+func TestMaximizeScanPropertyQuadratics(t *testing.T) {
+	// Property: the argmax of -(x-m)² over [0, 1] is recovered for any
+	// planted m in (0, 1).
+	check := func(seed uint16) bool {
+		m := float64(seed%60000)/60000*0.8 + 0.1
+		f := func(x float64) float64 { return -(x - m) * (x - m) }
+		x, _, err := MaximizeScan(f, 0, 1, 32, MaxOptions{})
+		return err == nil && almostEqual(x, m, 1e-6)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	x, fx := NelderMead(f, []float64{-1.2, 1}, NelderMeadOptions{MaxIter: 20000})
+	if fx > 1e-8 {
+		t.Errorf("f(min) = %g at %v, want ~0 at (1,1)", fx, x)
+	}
+	if !almostEqual(x[0], 1, 1e-3) || !almostEqual(x[1], 1, 1e-3) {
+		t.Errorf("argmin = %v, want (1, 1)", x)
+	}
+}
+
+func TestNelderMeadQuadraticBowl(t *testing.T) {
+	f := func(x []float64) float64 {
+		s := 0.0
+		for i, v := range x {
+			d := v - float64(i)
+			s += d * d
+		}
+		return s
+	}
+	x, fx := NelderMead(f, []float64{5, 5, 5, 5}, NelderMeadOptions{})
+	if fx > 1e-10 {
+		t.Errorf("f(min) = %g at %v", fx, x)
+	}
+}
+
+func TestNelderMeadEmptyInput(t *testing.T) {
+	x, fx := NelderMead(func(x []float64) float64 { return 7 }, nil, NelderMeadOptions{})
+	if x != nil || fx != 7 {
+		t.Errorf("got (%v, %g), want (nil, 7)", x, fx)
+	}
+}
+
+func TestNelderMeadDoesNotMutateStart(t *testing.T) {
+	x0 := []float64{3, 4}
+	NelderMead(func(x []float64) float64 { return x[0]*x[0] + x[1]*x[1] }, x0, NelderMeadOptions{})
+	if x0[0] != 3 || x0[1] != 4 {
+		t.Errorf("start point mutated: %v", x0)
+	}
+}

@@ -1,0 +1,146 @@
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrBadKnots reports invalid interpolation knots (too few, unsorted, or
+// duplicated abscissae).
+var ErrBadKnots = errors.New("numeric: invalid interpolation knots")
+
+// PCHIP is a monotone piecewise-cubic Hermite interpolant
+// (Fritsch–Carlson). If the data are monotone, the interpolant is
+// monotone too — exactly the property a tabulated survival function
+// needs: an empirical life function interpolated with PCHIP stays a
+// valid, nonincreasing probability curve with a continuous derivative.
+type PCHIP struct {
+	xs, ys, ds []float64 // knots, values, endpoint-adjusted slopes
+}
+
+// NewPCHIP builds the interpolant over strictly increasing xs. ys must
+// have the same length; at least two knots are required.
+func NewPCHIP(xs, ys []float64) (*PCHIP, error) {
+	n := len(xs)
+	if n < 2 || len(ys) != n {
+		return nil, fmt.Errorf("%w: %d xs, %d ys", ErrBadKnots, len(xs), len(ys))
+	}
+	for i := 1; i < n; i++ {
+		if !(xs[i] > xs[i-1]) {
+			return nil, fmt.Errorf("%w: xs[%d]=%g not > xs[%d]=%g", ErrBadKnots, i, xs[i], i-1, xs[i-1])
+		}
+	}
+	p := &PCHIP{
+		xs: append([]float64(nil), xs...),
+		ys: append([]float64(nil), ys...),
+		ds: make([]float64, n),
+	}
+	// Interval widths and secant slopes.
+	h := make([]float64, n-1)
+	delta := make([]float64, n-1)
+	for i := 0; i < n-1; i++ {
+		h[i] = xs[i+1] - xs[i]
+		delta[i] = (ys[i+1] - ys[i]) / h[i]
+	}
+	// Interior slopes: weighted harmonic mean when the secants agree in
+	// sign, zero otherwise (Fritsch–Carlson; guarantees monotonicity).
+	for i := 1; i < n-1; i++ {
+		if delta[i-1]*delta[i] <= 0 {
+			p.ds[i] = 0
+			continue
+		}
+		w1 := 2*h[i] + h[i-1]
+		w2 := h[i] + 2*h[i-1]
+		p.ds[i] = (w1 + w2) / (w1/delta[i-1] + w2/delta[i])
+	}
+	p.ds[0] = edgeSlope(h[0], hAt(h, 1), delta[0], deltaAt(delta, 1))
+	p.ds[n-1] = edgeSlope(h[n-2], hAt(h, n-3), delta[n-2], deltaAt(delta, n-3))
+	return p, nil
+}
+
+func hAt(h []float64, i int) float64 {
+	if i < 0 || i >= len(h) {
+		return h[0]
+	}
+	return h[i]
+}
+
+func deltaAt(d []float64, i int) float64 {
+	if i < 0 || i >= len(d) {
+		return d[0]
+	}
+	return d[i]
+}
+
+// edgeSlope is the standard shape-preserving three-point endpoint rule.
+func edgeSlope(h0, h1, d0, d1 float64) float64 {
+	s := ((2*h0+h1)*d0 - h0*d1) / (h0 + h1)
+	if s*d0 <= 0 {
+		return 0
+	}
+	if d0*d1 <= 0 && math.Abs(s) > 3*math.Abs(d0) {
+		return 3 * d0
+	}
+	return s
+}
+
+// Domain returns the interpolation interval [min, max].
+func (p *PCHIP) Domain() (float64, float64) { return p.xs[0], p.xs[len(p.xs)-1] }
+
+// At evaluates the interpolant at x. Outside the knot range the nearest
+// endpoint value is returned (constant extrapolation), which keeps a
+// survival function within [0, 1].
+func (p *PCHIP) At(x float64) float64 {
+	v, _ := p.eval(x)
+	return v
+}
+
+// DerivAt evaluates the interpolant's derivative at x; zero outside the
+// knot range (matching the constant extrapolation of At).
+func (p *PCHIP) DerivAt(x float64) float64 {
+	_, d := p.eval(x)
+	return d
+}
+
+func (p *PCHIP) eval(x float64) (val, deriv float64) {
+	n := len(p.xs)
+	if x <= p.xs[0] {
+		if x == p.xs[0] {
+			return p.ys[0], p.ds[0]
+		}
+		return p.ys[0], 0
+	}
+	if x >= p.xs[n-1] {
+		if x == p.xs[n-1] {
+			return p.ys[n-1], p.ds[n-1]
+		}
+		return p.ys[n-1], 0
+	}
+	// Locate the interval with sort.SearchFloat64s: index of first knot > x.
+	i := sort.SearchFloat64s(p.xs, x)
+	if p.xs[i] == x {
+		return p.ys[i], p.ds[i]
+	}
+	i-- // now xs[i] < x < xs[i+1]
+	h := p.xs[i+1] - p.xs[i]
+	s := (x - p.xs[i]) / h
+	y0, y1 := p.ys[i], p.ys[i+1]
+	d0, d1 := p.ds[i], p.ds[i+1]
+	// Cubic Hermite basis.
+	s2 := s * s
+	s3 := s2 * s
+	h00 := 2*s3 - 3*s2 + 1
+	h10 := s3 - 2*s2 + s
+	h01 := -2*s3 + 3*s2
+	h11 := s3 - s2
+	val = h00*y0 + h10*h*d0 + h01*y1 + h11*h*d1
+	// Basis derivatives w.r.t. x (chain rule through s).
+	dh00 := (6*s2 - 6*s) / h
+	dh10 := (3*s2 - 4*s + 1) / h
+	dh01 := (-6*s2 + 6*s) / h
+	dh11 := (3*s2 - 2*s) / h
+	deriv = dh00*y0 + dh10*h*d0 + dh01*y1 + dh11*h*d1
+	return val, deriv
+}

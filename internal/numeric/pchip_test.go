@@ -1,0 +1,168 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPCHIPReproducesKnots(t *testing.T) {
+	xs := []float64{0, 1, 2.5, 4, 7}
+	ys := []float64{1, 0.8, 0.5, 0.2, 0}
+	p, err := NewPCHIP(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if got := p.At(xs[i]); !almostEqual(got, ys[i], 1e-12) {
+			t.Errorf("At(%g) = %g, want %g", xs[i], got, ys[i])
+		}
+	}
+}
+
+func TestPCHIPMonotonePreserving(t *testing.T) {
+	// Kaplan–Meier-like step-ish survival data; the interpolant must
+	// never increase anywhere between knots.
+	xs := []float64{0, 1, 2, 3, 5, 8, 13, 20}
+	ys := []float64{1, 0.93, 0.81, 0.80, 0.52, 0.20, 0.05, 0}
+	p, err := NewPCHIP(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := p.At(0)
+	for i := 1; i <= 2000; i++ {
+		x := 20 * float64(i) / 2000
+		v := p.At(x)
+		if v > prev+1e-12 {
+			t.Fatalf("interpolant increases at x=%g: %g -> %g", x, prev, v)
+		}
+		prev = v
+	}
+}
+
+func TestPCHIPDerivativeSign(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 0.6, 0.3, 0}
+	p, err := NewPCHIP(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= 100; i++ {
+		x := 3 * float64(i) / 100
+		if d := p.DerivAt(x); d > 1e-12 {
+			t.Fatalf("derivative positive (%g) at x=%g on decreasing data", d, x)
+		}
+	}
+}
+
+func TestPCHIPDerivativeMatchesFiniteDifference(t *testing.T) {
+	xs := []float64{0, 0.5, 1.2, 2, 3.3, 4}
+	ys := []float64{1, 0.9, 0.7, 0.4, 0.1, 0}
+	p, err := NewPCHIP(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.25, 0.8, 1.5, 2.9, 3.7} {
+		an := p.DerivAt(x)
+		fd := Derivative(p.At, x)
+		if math.Abs(an-fd) > 1e-5*(1+math.Abs(an)) {
+			t.Errorf("DerivAt(%g) = %g, finite difference %g", x, an, fd)
+		}
+	}
+}
+
+func TestPCHIPConstantExtrapolation(t *testing.T) {
+	p, err := NewPCHIP([]float64{0, 1, 2}, []float64{1, 0.5, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.At(-5); got != 1 {
+		t.Errorf("At(-5) = %g, want 1", got)
+	}
+	if got := p.At(100); got != 0.1 {
+		t.Errorf("At(100) = %g, want 0.1", got)
+	}
+	if d := p.DerivAt(100); d != 0 {
+		t.Errorf("DerivAt(100) = %g, want 0", d)
+	}
+}
+
+func TestPCHIPLinearDataIsLinear(t *testing.T) {
+	// On exactly linear data the interpolant must reproduce the line.
+	p, err := NewPCHIP([]float64{0, 1, 2, 3}, []float64{3, 2, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= 30; i++ {
+		x := 3 * float64(i) / 30
+		if got := p.At(x); !almostEqual(got, 3-x, 1e-10) {
+			t.Errorf("At(%g) = %g, want %g", x, got, 3-x)
+		}
+	}
+}
+
+func TestPCHIPTwoKnots(t *testing.T) {
+	p, err := NewPCHIP([]float64{0, 2}, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.At(1); !almostEqual(got, 0.5, 1e-10) {
+		t.Errorf("At(1) = %g, want 0.5", got)
+	}
+}
+
+func TestPCHIPRejectsBadKnots(t *testing.T) {
+	cases := [][2][]float64{
+		{{0}, {1}},               // too few
+		{{0, 0, 1}, {1, 0.5, 0}}, // duplicate x
+		{{0, 2, 1}, {1, 0.5, 0}}, // unsorted
+		{{0, 1, 2}, {1, 0.5}},    // length mismatch
+	}
+	for i, c := range cases {
+		if _, err := NewPCHIP(c[0], c[1]); !errors.Is(err, ErrBadKnots) {
+			t.Errorf("case %d: err = %v, want ErrBadKnots", i, err)
+		}
+	}
+}
+
+func TestPCHIPPropertyStaysInDataRange(t *testing.T) {
+	// Property: for monotone decreasing data, the interpolant never
+	// leaves [min(y), max(y)] — the property that keeps survival
+	// probabilities valid.
+	check := func(raw []uint8) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		if len(raw) > 12 {
+			raw = raw[:12]
+		}
+		xs := make([]float64, len(raw))
+		ys := make([]float64, len(raw))
+		cur := 1.0
+		for i, r := range raw {
+			xs[i] = float64(i)
+			ys[i] = cur
+			cur -= float64(r) / (256 * float64(len(raw)))
+			if cur < 0 {
+				cur = 0
+			}
+		}
+		p, err := NewPCHIP(xs, ys)
+		if err != nil {
+			return false
+		}
+		lo, hi := ys[len(ys)-1], ys[0]
+		for i := 0; i <= 200; i++ {
+			x := xs[len(xs)-1] * float64(i) / 200
+			v := p.At(x)
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

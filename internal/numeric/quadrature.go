@@ -1,0 +1,72 @@
+package numeric
+
+import (
+	"fmt"
+	"math"
+)
+
+// QuadOptions configures the adaptive quadrature routine.
+type QuadOptions struct {
+	// Tol is the absolute error tolerance. If zero, 1e-10 is used.
+	Tol float64
+	// MaxDepth bounds the recursion depth. If zero, 48 is used.
+	MaxDepth int
+}
+
+// Integrate computes the definite integral of f over [a, b] with
+// adaptive Simpson quadrature. It is used to evaluate expected reclaim
+// times and to validate sampled survival functions against their
+// analytic densities.
+func Integrate(f func(float64) float64, a, b float64, opt QuadOptions) (float64, error) {
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-10
+	}
+	if opt.MaxDepth <= 0 {
+		opt.MaxDepth = 48
+	}
+	if a == b {
+		return 0, nil
+	}
+	sign := 1.0
+	if a > b {
+		a, b = b, a
+		sign = -1
+	}
+	fa, fb := f(a), f(b)
+	m := a + (b-a)/2
+	fm := f(m)
+	if !isFinite(fa) || !isFinite(fb) || !isFinite(fm) {
+		return 0, ErrNonFinite
+	}
+	whole := simpson(a, b, fa, fm, fb)
+	v, err := adaptiveSimpson(f, a, b, fa, fm, fb, whole, opt.Tol, opt.MaxDepth)
+	return sign * v, err
+}
+
+func simpson(a, b, fa, fm, fb float64) float64 {
+	return (b - a) / 6 * (fa + 4*fm + fb)
+}
+
+func adaptiveSimpson(f func(float64) float64, a, b, fa, fm, fb, whole, tol float64, depth int) (float64, error) {
+	m := a + (b-a)/2
+	lm := a + (m-a)/2
+	rm := m + (b-m)/2
+	flm, frm := f(lm), f(rm)
+	if !isFinite(flm) || !isFinite(frm) {
+		return 0, ErrNonFinite
+	}
+	left := simpson(a, m, fa, flm, fm)
+	right := simpson(m, b, fm, frm, fb)
+	if depth <= 0 {
+		return left + right, fmt.Errorf("%w: adaptive Simpson depth exhausted on [%g, %g]", ErrMaxIterations, a, b)
+	}
+	if math.Abs(left+right-whole) <= 15*tol {
+		return left + right + (left+right-whole)/15, nil
+	}
+	lv, lerr := adaptiveSimpson(f, a, m, fa, flm, fm, left, tol/2, depth-1)
+	if lerr != nil {
+		return lv, lerr
+	}
+	rv, rerr := adaptiveSimpson(f, m, b, fm, frm, fb, right, tol/2, depth-1)
+	return lv + rv, rerr
+}

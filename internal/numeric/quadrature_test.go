@@ -1,0 +1,79 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIntegratePolynomial(t *testing.T) {
+	// ∫₀¹ x² dx = 1/3 (Simpson is exact on cubics).
+	v, err := Integrate(func(x float64) float64 { return x * x }, 0, 1, QuadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(v, 1.0/3, 1e-12) {
+		t.Errorf("integral = %.16g, want 1/3", v)
+	}
+}
+
+func TestIntegrateSin(t *testing.T) {
+	v, err := Integrate(math.Sin, 0, math.Pi, QuadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(v, 2, 1e-9) {
+		t.Errorf("integral = %.16g, want 2", v)
+	}
+}
+
+func TestIntegrateReversedLimits(t *testing.T) {
+	v, err := Integrate(func(x float64) float64 { return 1 }, 1, 0, QuadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(v, -1, 1e-12) {
+		t.Errorf("integral = %g, want -1", v)
+	}
+}
+
+func TestIntegrateEmptyInterval(t *testing.T) {
+	v, err := Integrate(math.Exp, 2, 2, QuadOptions{})
+	if err != nil || v != 0 {
+		t.Errorf("got (%g, %v), want (0, nil)", v, err)
+	}
+}
+
+func TestIntegrateSurvivalMeanLifetime(t *testing.T) {
+	// Mean of Exp(rate=2) via ∫ survival: 1/2.
+	v, err := Integrate(func(x float64) float64 { return math.Exp(-2 * x) }, 0, 40, QuadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(v, 0.5, 1e-8) {
+		t.Errorf("integral = %.12g, want 0.5", v)
+	}
+}
+
+func TestIntegrateSharpPeak(t *testing.T) {
+	// Narrow Gaussian: adaptive refinement must find the mass.
+	sigma := 1e-3
+	f := func(x float64) float64 {
+		d := (x - 0.5) / sigma
+		return math.Exp(-d * d / 2)
+	}
+	v, err := Integrate(f, 0, 1, QuadOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sigma * math.Sqrt(2*math.Pi)
+	if math.Abs(v-want)/want > 1e-6 {
+		t.Errorf("integral = %.12g, want %.12g", v, want)
+	}
+}
+
+func TestIntegrateNonFinite(t *testing.T) {
+	_, err := Integrate(func(x float64) float64 { return 1 / x }, -1, 1, QuadOptions{})
+	if err == nil {
+		t.Error("expected error integrating across a pole")
+	}
+}

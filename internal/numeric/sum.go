@@ -1,0 +1,51 @@
+package numeric
+
+// KahanSum accumulates float64 values with Kahan–Babuška (Neumaier)
+// compensation, so that long expected-work summations and Monte-Carlo
+// averages do not drift. The zero value is an empty sum ready to use.
+type KahanSum struct {
+	sum float64
+	c   float64 // running compensation
+}
+
+// Add accumulates v into the sum.
+func (k *KahanSum) Add(v float64) {
+	t := k.sum + v
+	if abs(k.sum) >= abs(v) {
+		k.c += (k.sum - t) + v
+	} else {
+		k.c += (v - t) + k.sum
+	}
+	k.sum = t
+}
+
+// Value returns the compensated total.
+func (k *KahanSum) Value() float64 { return k.sum + k.c }
+
+// Reset clears the accumulator.
+func (k *KahanSum) Reset() { k.sum, k.c = 0, 0 }
+
+// Sum returns the compensated sum of xs.
+func Sum(xs []float64) float64 {
+	var k KahanSum
+	for _, x := range xs {
+		k.Add(x)
+	}
+	return k.Value()
+}
+
+// Mean returns the compensated arithmetic mean of xs, or 0 for an empty
+// slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,71 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKahanSumCancellations(t *testing.T) {
+	// 1 + 1e100 - 1e100 loses the 1 under naive summation order.
+	var k KahanSum
+	k.Add(1)
+	k.Add(1e100)
+	k.Add(-1e100)
+	if got := k.Value(); got != 1 {
+		t.Errorf("compensated sum = %g, want 1", got)
+	}
+}
+
+func TestKahanSumManySmall(t *testing.T) {
+	var k KahanSum
+	n := 10_000_000
+	for i := 0; i < n; i++ {
+		k.Add(0.1)
+	}
+	want := float64(n) * 0.1
+	if math.Abs(k.Value()-want) > 1e-4 {
+		t.Errorf("sum = %.10f, want %.10f", k.Value(), want)
+	}
+}
+
+func TestKahanReset(t *testing.T) {
+	var k KahanSum
+	k.Add(5)
+	k.Reset()
+	k.Add(2)
+	if k.Value() != 2 {
+		t.Errorf("after reset sum = %g, want 2", k.Value())
+	}
+}
+
+func TestSumEmpty(t *testing.T) {
+	if Sum(nil) != 0 {
+		t.Error("Sum(nil) != 0")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("mean = %g, want 2.5", got)
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+}
+
+func TestSumPropertyMatchesExactIntegers(t *testing.T) {
+	// Property: sums of small integers are exact.
+	check := func(xs []int8) bool {
+		fs := make([]float64, len(xs))
+		var exact int64
+		for i, v := range xs {
+			fs[i] = float64(v)
+			exact += int64(v)
+		}
+		return Sum(fs) == float64(exact)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,76 @@
+package optimal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lifefn"
+	"repro/internal/sched"
+)
+
+func TestGroundTruthPolishImproves(t *testing.T) {
+	// Nelder–Mead polishing must never make the result worse.
+	l, _ := lifefn.NewGeomIncreasing(32)
+	rough, err := GroundTruth(l, 1, GroundTruthOptions{Sweeps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	polished, err := GroundTruth(l, 1, GroundTruthOptions{Sweeps: 2, Polish: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polished.ExpectedWork < rough.ExpectedWork-1e-9 {
+		t.Errorf("polish regressed: %g -> %g", rough.ExpectedWork, polished.ExpectedWork)
+	}
+}
+
+func TestGroundTruthUnboundedHorizon(t *testing.T) {
+	// Exponential owner: ground truth must approach the closed-form
+	// equal-period optimum despite the unbounded support.
+	a := math.Pow(2, 1.0/16)
+	l, _ := lifefn.NewGeomDecreasing(a)
+	c := 1.0
+	gt, err := GroundTruth(l, c, GroundTruthOptions{MaxPeriods: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tStar, err := GeomDecreasingPeriod(l, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := ExpectedWorkGeomDecreasing(l, c, tStar)
+	// The finite-period ground truth must come close to the infinite
+	// optimum (its truncation forfeits only the geometric tail).
+	if gt.ExpectedWork < 0.95*exact {
+		t.Errorf("ground truth %g far below exact %g", gt.ExpectedWork, exact)
+	}
+	if gt.ExpectedWork > exact+1e-6 {
+		t.Errorf("ground truth %g above the provable optimum %g", gt.ExpectedWork, exact)
+	}
+}
+
+func TestGroundTruthRespectsMaxPeriods(t *testing.T) {
+	l, _ := lifefn.NewUniform(1000)
+	gt, err := GroundTruth(l, 1, GroundTruthOptions{MaxPeriods: 5, Sweeps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.Schedule.Len() > 5 {
+		t.Errorf("m = %d exceeds cap", gt.Schedule.Len())
+	}
+	// The capped optimum must still beat the naive single period.
+	single := sched.MustNew(500)
+	if gt.ExpectedWork <= sched.ExpectedWork(single, l, 1) {
+		t.Errorf("capped ground truth %g no better than one period", gt.ExpectedWork)
+	}
+}
+
+func TestUniformBestT0Infeasible(t *testing.T) {
+	// m so large that mc >= the exhausting t0: infeasible.
+	if _, ok := uniformBestT0(10, 1, 100); ok {
+		t.Error("infeasible m accepted")
+	}
+	if t0, ok := uniformBestT0(100, 1, 5); !ok || t0 <= 5 {
+		t.Errorf("feasible m rejected or degenerate: %g, %v", t0, ok)
+	}
+}

@@ -1,0 +1,112 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		ID:      "T1",
+		Title:   "sample",
+		Columns: []string{"name", "value", "flag"},
+	}
+	t.AddRow("alpha", 1.5, true)
+	t.AddRow("beta,comma", 42, false)
+	t.AddRow("gamma", int64(7), 0.3333333333333)
+	t.AddNote("a note with %d parts", 2)
+	return t
+}
+
+func TestAddRowFormatting(t *testing.T) {
+	tbl := sample()
+	if tbl.Rows[0][1] != "1.5" {
+		t.Errorf("float cell = %q", tbl.Rows[0][1])
+	}
+	if tbl.Rows[0][2] != "yes" || tbl.Rows[1][2] != "no" {
+		t.Errorf("bool cells = %q, %q", tbl.Rows[0][2], tbl.Rows[1][2])
+	}
+	if tbl.Rows[1][1] != "42" {
+		t.Errorf("int cell = %q", tbl.Rows[1][1])
+	}
+	if tbl.Rows[2][1] != "7" {
+		t.Errorf("int64 cell = %q", tbl.Rows[2][1])
+	}
+	if tbl.Rows[2][2] != "0.333333" {
+		t.Errorf("float precision cell = %q", tbl.Rows[2][2])
+	}
+	if len(tbl.Notes) != 1 || tbl.Notes[0] != "a note with 2 parts" {
+		t.Errorf("notes = %v", tbl.Notes)
+	}
+}
+
+func TestWriteTextAligned(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "== T1: sample ==") {
+		t.Error("missing header")
+	}
+	lines := strings.Split(out, "\n")
+	// Header and every data row must align on the "value" column.
+	var headerIdx int
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "name") {
+			headerIdx = strings.Index(ln, "value")
+		}
+	}
+	if headerIdx <= 0 {
+		t.Fatalf("no aligned header in:\n%s", out)
+	}
+	if !strings.Contains(out, "note: a note with 2 parts") {
+		t.Error("missing note")
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "### T1 — sample") {
+		t.Error("missing markdown header")
+	}
+	if !strings.Contains(out, "| name | value | flag |") {
+		t.Error("missing markdown column row")
+	}
+	if !strings.Contains(out, "|---|---|---|") {
+		t.Error("missing markdown separator")
+	}
+	if !strings.Contains(out, "*a note with 2 parts*") {
+		t.Error("missing italic note")
+	}
+}
+
+func TestWriteCSVEscaping(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"beta,comma"`) {
+		t.Errorf("comma cell not quoted:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "name,value,flag\n") {
+		t.Errorf("csv header wrong:\n%s", out)
+	}
+}
+
+func TestCSVQuoteEscaping(t *testing.T) {
+	tbl := &Table{ID: "q", Title: "quotes", Columns: []string{"a"}}
+	tbl.AddRow(`say "hi"`)
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"say ""hi"""`) {
+		t.Errorf("quote escaping wrong: %s", b.String())
+	}
+}

@@ -1,0 +1,81 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lifefn"
+)
+
+func TestGradientMatchesFiniteDifference(t *testing.T) {
+	l, _ := lifefn.NewUniform(100)
+	s := MustNew(20, 15, 10, 5)
+	c := 1.0
+	grad := Gradient(s, l, c)
+	const h = 1e-6
+	for k := 0; k < s.Len(); k++ {
+		up, err := s.Shift(k, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		down, err := s.Shift(k, -h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fd := (ExpectedWork(up, l, c) - ExpectedWork(down, l, c)) / (2 * h)
+		if math.Abs(grad[k]-fd) > 1e-6*(1+math.Abs(fd)) {
+			t.Errorf("∂E/∂t_%d = %g, finite difference %g", k, grad[k], fd)
+		}
+	}
+}
+
+func TestGradientZeroIsSystem31(t *testing.T) {
+	// Hand-build the uniform-risk optimal arithmetic schedule and check
+	// the gradient vanishes in every coordinate (system 3.1 holds).
+	L, c := 100.0, 1.0
+	// Optimal m ≈ sqrt(2L/c) = 14.14; use m=14, t0 = L/m + (m-1)c/2.
+	m := 14
+	t0 := L/float64(m) + float64(m-1)*c/2
+	periods := make([]float64, m)
+	for k := range periods {
+		periods[k] = t0 - float64(k)*c
+	}
+	l, _ := lifefn.NewUniform(L)
+	s := MustNew(periods...)
+	grad := Gradient(s, l, c)
+	// Interior stationarity: all partials equal (they share the common
+	// value p(T_{m-1})·∂/...); for the exactly optimal schedule the
+	// common value is p(T_{m-1}) + (t_{m-1}-c)p'(T_{m-1}) ≈ 0 since the
+	// schedule exhausts L and the last period is barely productive.
+	for k, g := range grad {
+		if math.Abs(g) > 0.02 {
+			t.Errorf("∂E/∂t_%d = %g, want ≈ 0 at the optimum", k, g)
+		}
+	}
+}
+
+func TestGradientUnproductivePeriodHasNoDirectTerm(t *testing.T) {
+	l, _ := lifefn.NewUniform(100)
+	s := MustNew(10, 0.5, 10) // middle period below c=1
+	grad := Gradient(s, l, 1)
+	// Finite difference (one-sided from above won't match two-sided at
+	// the kink, so shift well below the kink): shrinking t_1 only moves
+	// later boundaries.
+	const h = 1e-6
+	up, _ := s.Shift(1, h)
+	down, _ := s.Shift(1, -h)
+	fd := (ExpectedWork(up, l, 1) - ExpectedWork(down, l, 1)) / (2 * h)
+	if math.Abs(grad[1]-fd) > 1e-6 {
+		t.Errorf("∂E/∂t_1 = %g, fd = %g", grad[1], fd)
+	}
+	if grad[1] >= 0 {
+		t.Errorf("stretching a dead period should only hurt: %g", grad[1])
+	}
+}
+
+func TestGradientEmptySchedule(t *testing.T) {
+	l, _ := lifefn.NewUniform(10)
+	if g := Gradient(Schedule{}, l, 1); len(g) != 0 {
+		t.Errorf("gradient of empty schedule = %v", g)
+	}
+}

@@ -1,0 +1,32 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// scheduleJSON is the wire form of a Schedule.
+type scheduleJSON struct {
+	Periods []float64 `json:"periods"`
+}
+
+// MarshalJSON encodes the schedule as {"periods": [t0, t1, ...]}, so
+// plans can be persisted and shipped between processes.
+func (s Schedule) MarshalJSON() ([]byte, error) {
+	return json.Marshal(scheduleJSON{Periods: s.Periods()})
+}
+
+// UnmarshalJSON decodes and validates a schedule: every period must be
+// positive and finite, exactly as New requires.
+func (s *Schedule) UnmarshalJSON(data []byte) error {
+	var wire scheduleJSON
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return fmt.Errorf("sched: decoding schedule: %w", err)
+	}
+	decoded, err := New(wire.Periods...)
+	if err != nil {
+		return err
+	}
+	*s = decoded
+	return nil
+}

@@ -1,0 +1,69 @@
+package sched
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	s := MustNew(4.5, 3.25, 2)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schedule
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(s, 0) {
+		t.Errorf("round trip: %v != %v", back, s)
+	}
+}
+
+func TestScheduleJSONValidates(t *testing.T) {
+	var s Schedule
+	if err := json.Unmarshal([]byte(`{"periods":[1,-2]}`), &s); err == nil {
+		t.Error("negative period accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"periods":[0]}`), &s); err == nil {
+		t.Error("zero period accepted")
+	}
+	if err := json.Unmarshal([]byte(`not json`), &s); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestScheduleJSONEmpty(t *testing.T) {
+	var s Schedule
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schedule
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 {
+		t.Errorf("empty round trip has %d periods", back.Len())
+	}
+}
+
+func TestScheduleJSONInsideStruct(t *testing.T) {
+	// Plans embed Schedule; verify it composes.
+	type plan struct {
+		T0       float64  `json:"t0"`
+		Schedule Schedule `json:"schedule"`
+	}
+	in := plan{T0: 4.5, Schedule: MustNew(4.5, 3.5)}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out plan
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.T0 != 4.5 || !out.Schedule.Equal(in.Schedule, 0) {
+		t.Errorf("struct round trip: %+v", out)
+	}
+}

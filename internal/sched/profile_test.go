@@ -1,0 +1,75 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWorkProfileSteps(t *testing.T) {
+	s := MustNew(4, 3, 2)
+	c := 1.0
+	steps := WorkProfile(s, c)
+	want := []ProfileStep{
+		{0, 4, 0},
+		{4, 7, 3},
+		{7, 9, 5},
+		{9, math.Inf(1), 6},
+	}
+	if len(steps) != len(want) {
+		t.Fatalf("got %d steps", len(steps))
+	}
+	for i, w := range want {
+		g := steps[i]
+		if math.Abs(g.From-w.From) > 1e-12 || g.Work != w.Work {
+			t.Errorf("step %d = %+v, want %+v", i, g, w)
+		}
+		if math.IsInf(w.Until, 1) != math.IsInf(g.Until, 1) {
+			t.Errorf("step %d Until = %g, want %g", i, g.Until, w.Until)
+		} else if !math.IsInf(w.Until, 1) && math.Abs(g.Until-w.Until) > 1e-12 {
+			t.Errorf("step %d Until = %g, want %g", i, g.Until, w.Until)
+		}
+	}
+}
+
+func TestWorkProfileAgreesWithRealizedWork(t *testing.T) {
+	// Property: for random schedules and reclaim times, looking up the
+	// profile equals calling RealizedWork.
+	check := func(raw []uint8, ri uint16) bool {
+		if len(raw) == 0 || len(raw) > 12 {
+			return true
+		}
+		c := 1.0
+		periods := make([]float64, len(raw))
+		for i, r := range raw {
+			periods[i] = 0.2 + float64(r)/32
+		}
+		s, err := New(periods...)
+		if err != nil {
+			return false
+		}
+		r := float64(ri) / 1024 * s.Total() * 1.2
+		steps := WorkProfile(s, c)
+		var fromProfile float64
+		for _, st := range steps {
+			if r > st.From && r <= st.Until {
+				fromProfile = st.Work
+				break
+			}
+		}
+		if r == 0 {
+			fromProfile = 0
+		}
+		return math.Abs(fromProfile-RealizedWork(s, c, r)) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkProfileEmpty(t *testing.T) {
+	steps := WorkProfile(Schedule{}, 1)
+	if len(steps) != 1 || steps[0].Work != 0 || !math.IsInf(steps[0].Until, 1) {
+		t.Errorf("empty profile = %+v", steps)
+	}
+}

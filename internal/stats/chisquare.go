@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadCells reports unusable chi-square cells.
+var ErrBadCells = errors.New("stats: invalid chi-square cells")
+
+// ChiSquare performs Pearson's goodness-of-fit test: observed counts
+// against expected counts (same length, expected all positive, sums
+// should agree). It returns the statistic and the p-value under the
+// chi-square distribution with len(cells)-1-ddof degrees of freedom.
+// Use ddof for parameters estimated from the data (0 when the expected
+// distribution is fully specified, as in the simulator validations).
+func ChiSquare(observed []int64, expected []float64, ddof int) (statistic, p float64, err error) {
+	if len(observed) == 0 || len(observed) != len(expected) {
+		return 0, 0, fmt.Errorf("%w: %d observed vs %d expected", ErrBadCells, len(observed), len(expected))
+	}
+	df := len(observed) - 1 - ddof
+	if df < 1 {
+		return 0, 0, fmt.Errorf("%w: %d cells leave %d degrees of freedom", ErrBadCells, len(observed), df)
+	}
+	stat := 0.0
+	for i, e := range expected {
+		if !(e > 0) {
+			return 0, 0, fmt.Errorf("%w: expected[%d] = %g", ErrBadCells, i, e)
+		}
+		d := float64(observed[i]) - e
+		stat += d * d / e
+	}
+	return stat, ChiSquareSurvival(stat, df), nil
+}
+
+// ChiSquareSurvival returns P(X >= x) for X ~ chi-square with df
+// degrees of freedom: the upper regularized incomplete gamma
+// Q(df/2, x/2).
+func ChiSquareSurvival(x float64, df int) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return regGammaQ(float64(df)/2, x/2)
+}
+
+// regGammaQ computes the upper regularized incomplete gamma function
+// Q(a, x) = Γ(a, x)/Γ(a), using the series for x < a+1 and the
+// continued fraction otherwise (Numerical-Recipes style, both to ~1e-12).
+func regGammaQ(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - regGammaPSeries(a, x)
+	}
+	return regGammaQCF(a, x)
+}
+
+// regGammaPSeries evaluates P(a, x) by its power series.
+func regGammaPSeries(a, x float64) float64 {
+	lg := lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// regGammaQCF evaluates Q(a, x) by Lentz's continued fraction.
+func regGammaQCF(a, x float64) float64 {
+	lg := lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChiSquareSurvivalKnownValues(t *testing.T) {
+	// Classic critical values: P(X >= x) = 0.05.
+	cases := []struct {
+		df   int
+		crit float64
+	}{
+		{1, 3.841}, {2, 5.991}, {5, 11.070}, {10, 18.307}, {30, 43.773},
+	}
+	for _, c := range cases {
+		p := ChiSquareSurvival(c.crit, c.df)
+		if math.Abs(p-0.05) > 0.001 {
+			t.Errorf("df=%d: survival(%g) = %g, want 0.05", c.df, c.crit, p)
+		}
+	}
+	if ChiSquareSurvival(0, 3) != 1 {
+		t.Error("survival at 0 should be 1")
+	}
+	if ChiSquareSurvival(-1, 3) != 1 {
+		t.Error("survival below 0 should be 1")
+	}
+}
+
+func TestChiSquareSurvivalDF2ClosedForm(t *testing.T) {
+	// df=2 is exponential: P(X >= x) = exp(-x/2).
+	for _, x := range []float64{0.5, 1, 3, 10, 25} {
+		got := ChiSquareSurvival(x, 2)
+		want := math.Exp(-x / 2)
+		if math.Abs(got-want) > 1e-10 {
+			t.Errorf("df=2 survival(%g) = %.12g, want %.12g", x, got, want)
+		}
+	}
+}
+
+func TestChiSquarePerfectFit(t *testing.T) {
+	obs := []int64{100, 200, 300}
+	exp := []float64{100, 200, 300}
+	stat, p, err := ChiSquare(obs, exp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat != 0 || p != 1 {
+		t.Errorf("perfect fit: stat=%g p=%g", stat, p)
+	}
+}
+
+func TestChiSquareDetectsMismatch(t *testing.T) {
+	obs := []int64{150, 150, 300}
+	exp := []float64{100, 200, 300}
+	_, p, err := ChiSquare(obs, exp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Errorf("gross mismatch has p = %g", p)
+	}
+}
+
+func TestChiSquareFairDieSimulation(t *testing.T) {
+	// Balanced counts near expectation: p should be comfortably large.
+	obs := []int64{1010, 985, 1003, 997, 1012, 993}
+	exp := make([]float64, 6)
+	for i := range exp {
+		exp[i] = 1000
+	}
+	stat, p, err := ChiSquare(obs, exp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.5 {
+		t.Errorf("near-perfect die: stat=%g p=%g", stat, p)
+	}
+}
+
+func TestChiSquareErrors(t *testing.T) {
+	if _, _, err := ChiSquare(nil, nil, 0); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, _, err := ChiSquare([]int64{1}, []float64{1}, 0); err == nil {
+		t.Error("single cell (0 df) accepted")
+	}
+	if _, _, err := ChiSquare([]int64{1, 2}, []float64{1, 0}, 0); err == nil {
+		t.Error("zero expected accepted")
+	}
+	if _, _, err := ChiSquare([]int64{1, 2}, []float64{1}, 0); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

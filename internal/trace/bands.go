@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lifefn"
+)
+
+// Band is a pointwise confidence band around a product-limit survival
+// estimate, from Greenwood's variance formula
+//
+//	Var(Ŝ(t)) = Ŝ(t)² · Σ_{t_i <= t} d_i / (n_i (n_i - d_i)),
+//
+// with normal pointwise intervals clipped to [0, 1] and re-monotonized.
+// Planning on the Lower curve is the pessimistic (robust) choice: it
+// assumes the owner returns as early as the data allow at the given
+// confidence, so the resulting schedule risks less work per period.
+type Band struct {
+	// Times are the death times of the underlying estimate.
+	Times []float64
+	// Center, Lower and Upper are the survival estimates at Times.
+	Center, Lower, Upper []float64
+}
+
+// ProductLimitBand computes the Kaplan–Meier estimate together with a
+// pointwise Greenwood band at the given z (e.g. 1.96 for ~95%).
+func ProductLimitBand(obs []Observation, z float64) (Band, error) {
+	if len(obs) == 0 {
+		return Band{}, ErrNoObservations
+	}
+	if !(z >= 0) {
+		return Band{}, fmt.Errorf("trace: negative z %g", z)
+	}
+	sorted := append([]Observation(nil), obs...)
+	sortObservations(sorted)
+	atRisk := len(sorted)
+	s := 1.0
+	greenwood := 0.0
+	var band Band
+	i := 0
+	for i < len(sorted) {
+		t := sorted[i].Duration
+		deaths, censored := 0, 0
+		for i < len(sorted) && sorted[i].Duration == t {
+			if sorted[i].Censored {
+				censored++
+			} else {
+				deaths++
+			}
+			i++
+		}
+		if deaths > 0 {
+			n := float64(atRisk)
+			d := float64(deaths)
+			s *= 1 - d/n
+			if n-d > 0 {
+				greenwood += d / (n * (n - d))
+			}
+			se := s * math.Sqrt(greenwood)
+			band.Times = append(band.Times, t)
+			band.Center = append(band.Center, s)
+			band.Lower = append(band.Lower, clamp01(s-z*se))
+			band.Upper = append(band.Upper, clamp01(s+z*se))
+		}
+		atRisk -= deaths + censored
+	}
+	if len(band.Times) == 0 {
+		return Band{}, fmt.Errorf("trace: all %d observations censored", len(obs))
+	}
+	// Re-monotonize the clipped bands (pointwise intervals need not be
+	// monotone after clipping).
+	enforceNonIncreasing(band.Lower)
+	enforceNonIncreasing(band.Upper)
+	return band, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func enforceNonIncreasing(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] > xs[i-1] {
+			xs[i] = xs[i-1]
+		}
+	}
+}
+
+func sortObservations(obs []Observation) {
+	// Deaths before censorings at ties (standard convention), as in
+	// ProductLimit.
+	sortSliceStable(obs, func(a, b Observation) bool {
+		if a.Duration != b.Duration {
+			return a.Duration < b.Duration
+		}
+		return !a.Censored && b.Censored
+	})
+}
+
+// sortSliceStable is a tiny insertion sort keeping the package free of
+// reflection-based sorting for a hot path that is never large enough to
+// matter; traces are sorted once per fit.
+func sortSliceStable(obs []Observation, less func(a, b Observation) bool) {
+	for i := 1; i < len(obs); i++ {
+		for j := i; j > 0 && less(obs[j], obs[j-1]); j-- {
+			obs[j], obs[j-1] = obs[j-1], obs[j]
+		}
+	}
+}
+
+// FitLifeBand fits three life functions from a trace: the point
+// estimate plus the pessimistic (lower) and optimistic (upper)
+// Greenwood-band curves at the given z, each thinned and smoothed like
+// FitLife. Planning on Pessimistic yields a schedule that stays safe if
+// the trace undersampled early reclaims.
+func FitLifeBand(obs []Observation, z float64, opt FitOptions) (center, pessimistic, optimistic *lifefn.Empirical, err error) {
+	band, err := ProductLimitBand(obs, z)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	build := func(surv []float64) (*lifefn.Empirical, error) {
+		return smoothCurve(band.Times, surv, opt)
+	}
+	if center, err = build(band.Center); err != nil {
+		return nil, nil, nil, fmt.Errorf("trace: center band: %w", err)
+	}
+	if pessimistic, err = build(band.Lower); err != nil {
+		return nil, nil, nil, fmt.Errorf("trace: lower band: %w", err)
+	}
+	if optimistic, err = build(band.Upper); err != nil {
+		return nil, nil, nil, fmt.Errorf("trace: upper band: %w", err)
+	}
+	return center, pessimistic, optimistic, nil
+}
+
+// smoothCurve thins (times, surv) to quantile-spaced knots and builds an
+// Empirical life function — the same encapsulation FitLife applies.
+func smoothCurve(times, surv []float64, opt FitOptions) (*lifefn.Empirical, error) {
+	knots := opt.Knots
+	if knots <= 0 {
+		knots = 32
+	}
+	ts := []float64{0}
+	ps := []float64{1}
+	if len(times) <= knots {
+		for i := range times {
+			if surv[i] < ps[len(ps)-1] {
+				ts = append(ts, times[i])
+				ps = append(ps, surv[i])
+			}
+		}
+	} else {
+		step := float64(len(times)-1) / float64(knots-1)
+		prevIdx := -1
+		for k := 0; k < knots; k++ {
+			idx := int(math.Round(float64(k) * step))
+			if idx <= prevIdx {
+				continue
+			}
+			prevIdx = idx
+			if surv[idx] < ps[len(ps)-1] {
+				ts = append(ts, times[idx])
+				ps = append(ps, surv[idx])
+			}
+		}
+	}
+	if len(ts) < 3 {
+		return nil, fmt.Errorf("%w: band collapsed to %d usable knots", ErrBadSamples, len(ts))
+	}
+	return lifefn.NewEmpirical(ts, ps)
+}
+
+// ErrBadSamples mirrors lifefn's error for collapsed bands.
+var ErrBadSamples = lifefn.ErrBadSamples

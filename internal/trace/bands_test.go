@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lifefn"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+func TestProductLimitBandOrdering(t *testing.T) {
+	truth, _ := lifefn.NewUniform(100)
+	obs := SampleAbsences(truth, 400, rng.New(3))
+	band, err := ProductLimitBand(obs, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(band.Times) == 0 {
+		t.Fatal("empty band")
+	}
+	for i := range band.Times {
+		if !(band.Lower[i] <= band.Center[i]+1e-12 && band.Center[i] <= band.Upper[i]+1e-12) {
+			t.Fatalf("band ordering violated at %d: %g <= %g <= %g",
+				i, band.Lower[i], band.Center[i], band.Upper[i])
+		}
+		if band.Lower[i] < 0 || band.Upper[i] > 1 {
+			t.Fatalf("band outside [0,1] at %d", i)
+		}
+		if i > 0 {
+			if band.Lower[i] > band.Lower[i-1]+1e-12 || band.Upper[i] > band.Upper[i-1]+1e-12 {
+				t.Fatalf("band not monotone at %d", i)
+			}
+		}
+	}
+}
+
+func TestProductLimitBandCoverage(t *testing.T) {
+	// Across resamples, the 95% band should contain the true survival
+	// at a test point most of the time (pointwise coverage; loose check).
+	truth, _ := lifefn.NewUniform(100)
+	covered := 0
+	const trials = 60
+	for trial := 0; trial < trials; trial++ {
+		obs := SampleAbsences(truth, 300, rng.New(1000+uint64(trial)))
+		band, err := ProductLimitBand(obs, 1.96)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Test at the median time.
+		target := 50.0
+		idx := 0
+		for i, tt := range band.Times {
+			if tt <= target {
+				idx = i
+			}
+		}
+		if band.Lower[idx] <= 0.5 && 0.5 <= band.Upper[idx] {
+			covered++
+		}
+	}
+	if covered < trials*80/100 {
+		t.Errorf("band covered truth in only %d/%d resamples", covered, trials)
+	}
+}
+
+func TestProductLimitBandZeroZ(t *testing.T) {
+	truth, _ := lifefn.NewUniform(50)
+	obs := SampleAbsences(truth, 100, rng.New(5))
+	band, err := ProductLimitBand(obs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range band.Times {
+		if band.Lower[i] != band.Center[i] || band.Upper[i] != band.Center[i] {
+			t.Fatal("z=0 band should collapse to the point estimate")
+		}
+	}
+}
+
+func TestProductLimitBandErrors(t *testing.T) {
+	if _, err := ProductLimitBand(nil, 1.96); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ProductLimitBand([]Observation{{Duration: 1}}, -1); err == nil {
+		t.Error("negative z accepted")
+	}
+	if _, err := ProductLimitBand([]Observation{{Duration: 1, Censored: true}}, 1); err == nil {
+		t.Error("all-censored accepted")
+	}
+}
+
+func TestFitLifeBandPessimisticPlanningIsSafe(t *testing.T) {
+	// The pessimistic curve lies below the center curve, so its plan
+	// risks shorter periods; under the TRUE risk it must still achieve
+	// most of the informed plan's expected work.
+	truth, _ := lifefn.NewGeomDecreasing(math.Pow(2, 1.0/32))
+	obs := SampleAbsences(truth, 800, rng.New(77))
+	center, pessimistic, optimistic, err := FitLifeBand(obs, 1.96, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Band ordering transfers to the smoothed curves on the observed
+	// range (up to smoothing slack).
+	for _, x := range []float64{5, 15, 30, 60} {
+		if pessimistic.P(x) > center.P(x)+0.05 || center.P(x) > optimistic.P(x)+0.05 {
+			t.Errorf("smoothed band ordering violated at %g: %g / %g / %g",
+				x, pessimistic.P(x), center.P(x), optimistic.P(x))
+		}
+	}
+	const c = 1.0
+	planOn := func(l lifefn.Life) sched.Schedule {
+		pl, err := core.NewPlanner(l, c, core.PlanOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := pl.PlanBest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan.Schedule
+	}
+	truthPlan := planOn(truth)
+	pessPlan := planOn(pessimistic)
+	eTruth := sched.ExpectedWork(truthPlan, truth, c)
+	ePess := sched.ExpectedWork(pessPlan, truth, c)
+	if ePess < 0.9*eTruth {
+		t.Errorf("pessimistic plan too costly: %g vs informed %g", ePess, eTruth)
+	}
+	// And the pessimistic plan's first period must not exceed the
+	// center plan's (it assumes earlier reclaims).
+	centerPlan := planOn(center)
+	if pessPlan.Len() > 0 && centerPlan.Len() > 0 &&
+		pessPlan.Period(0) > centerPlan.Period(0)*1.05 {
+		t.Errorf("pessimistic first period %g exceeds center %g",
+			pessPlan.Period(0), centerPlan.Period(0))
+	}
+}

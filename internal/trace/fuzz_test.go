@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzReadCSVNeverPanics(f *testing.F) {
+	f.Add("duration,censored\n1.5,false\n")
+	f.Add("duration,censored\n1.5,false\n2,true\n")
+	f.Add("garbage")
+	f.Add("duration,censored\nNaN,false\n")
+	f.Add("duration,censored\n1e400,true\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		obs, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Whatever parses must be structurally valid.
+		if len(obs) == 0 {
+			t.Fatal("nil error with no observations")
+		}
+		for _, o := range obs {
+			if !(o.Duration >= 0) || o.Duration > 1e300 {
+				t.Fatalf("invalid parsed duration %g", o.Duration)
+			}
+		}
+		// And must survive a round trip.
+		var b strings.Builder
+		if err := WriteCSV(&b, obs); err != nil {
+			t.Fatalf("round-trip write failed: %v", err)
+		}
+		back, err := ReadCSV(strings.NewReader(b.String()))
+		if err != nil || len(back) != len(obs) {
+			t.Fatalf("round-trip read failed: %v (%d vs %d)", err, len(back), len(obs))
+		}
+	})
+}
+
+func FuzzProductLimitInvariants(f *testing.F) {
+	f.Add([]byte{10, 20, 30})
+	f.Add([]byte{5, 5, 5, 200})
+	f.Add([]byte{1})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 || len(raw) > 64 {
+			return
+		}
+		obs := make([]Observation, len(raw))
+		for i, r := range raw {
+			obs[i] = Observation{
+				Duration: float64(r%128) + 0.5,
+				Censored: r >= 128,
+			}
+		}
+		times, surv, err := ProductLimit(obs)
+		if err != nil {
+			return // all censored: fine
+		}
+		prevT := -1.0
+		prevS := 1.0
+		for i := range times {
+			if times[i] <= prevT {
+				t.Fatalf("times not strictly increasing: %v", times)
+			}
+			if surv[i] > prevS+1e-12 || surv[i] < -1e-12 {
+				t.Fatalf("survival not nonincreasing in [0,1]: %v", surv)
+			}
+			prevT, prevS = times[i], surv[i]
+		}
+	})
+}

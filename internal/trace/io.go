@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes observations as CSV with a header row:
+// duration,censored. Durations keep full float64 precision.
+func WriteCSV(w io.Writer, obs []Observation) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"duration", "censored"}); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	for i, o := range obs {
+		rec := []string{
+			strconv.FormatFloat(o.Duration, 'g', -1, 64),
+			strconv.FormatBool(o.Censored),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: writing observation %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads observations produced by WriteCSV (or hand-authored
+// traces with the same duration,censored header). Durations must be
+// nonnegative finite numbers.
+func ReadCSV(r io.Reader) ([]Observation, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if header[0] != "duration" || header[1] != "censored" {
+		return nil, fmt.Errorf("trace: unexpected header %v, want [duration censored]", header)
+	}
+	var obs []Observation
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		d, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil || !(d >= 0) || d > 1e300 {
+			return nil, fmt.Errorf("trace: line %d: bad duration %q", line, rec[0])
+		}
+		c, err := strconv.ParseBool(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad censored flag %q", line, rec[1])
+		}
+		obs = append(obs, Observation{Duration: d, Censored: c})
+	}
+	if len(obs) == 0 {
+		return nil, ErrNoObservations
+	}
+	return obs, nil
+}

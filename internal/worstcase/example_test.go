@@ -1,0 +1,20 @@
+package worstcase_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/worstcase"
+)
+
+// Guard a 100-unit opportunity against an adversary allowed two
+// interruptions.
+func Example() {
+	res, err := worstcase.Optimal(100, 1, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("m=%d guarantee=%.2f closedForm=%.2f\n",
+		res.Periods, res.Guaranteed, worstcase.ClosedFormGuarantee(100, 1, 2))
+	// Output: m=14 guarantee=73.71 closedForm=73.72
+}

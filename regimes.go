@@ -1,0 +1,67 @@
+package cyclesteal
+
+import (
+	"repro/internal/discrete"
+	"repro/internal/trace"
+	"repro/internal/worstcase"
+)
+
+// This file re-exports the alternative scheduling regimes: the integer
+// (discrete-time) analogue the paper's Section 6 asks about, the
+// worst-case bounded-adversary game its sequel studies, and the
+// parametric trace-fitting alternatives.
+
+// DiscreteOptimal computes the exactly optimal integer-period schedule
+// by dynamic programming (the affirmative answer to the paper's
+// "discrete analogue" open question — see experiment E12). horizon
+// bounds the integer time axis; use DiscreteHorizonFor to choose it.
+func DiscreteOptimal(l Life, c float64, horizon int) (Schedule, float64, error) {
+	res, err := discrete.Optimal(l, c, horizon)
+	if err != nil {
+		return Schedule{}, 0, err
+	}
+	return res.Schedule, res.ExpectedWork, nil
+}
+
+// DiscreteHorizonFor suggests a DP horizon for a life function.
+func DiscreteHorizonFor(l Life) int {
+	return discrete.HorizonFor(l, 1e-9, 1<<20)
+}
+
+// RoundToIntegerPeriods is the natural discrete analogue of a
+// continuous schedule: nearest-integer periods in productive normal
+// form. Experiment E12 shows it loses a fraction of a percent against
+// DiscreteOptimal.
+func RoundToIntegerPeriods(s Schedule, c float64) (Schedule, error) {
+	return discrete.RoundSchedule(s, c)
+}
+
+// WorstCaseOptimal returns the schedule maximizing guaranteed work for
+// an episode of lifespan L when an adversary may interrupt up to q
+// times (each interruption destroys the period in progress): m equal
+// periods with the best m, guaranteeing ≈ L - 2·sqrt(qcL) + qc.
+func WorstCaseOptimal(lifespan, c float64, q int) (Schedule, float64, error) {
+	res, err := worstcase.Optimal(lifespan, c, q)
+	if err != nil {
+		return Schedule{}, 0, err
+	}
+	return res.Schedule, res.Guaranteed, nil
+}
+
+// GuaranteedWork returns the work schedule s retains against an optimal
+// adversary striking at most q of its periods.
+func GuaranteedWork(s Schedule, c float64, q int) float64 {
+	return worstcase.GuaranteedWork(s, c, q)
+}
+
+// FitHalfLifeFromTrace fits the memoryless (exponential) life function
+// by maximum likelihood; censored observations are handled correctly.
+func FitHalfLifeFromTrace(obs []Observation) (Life, error) {
+	return trace.FitGeomDecreasing(obs)
+}
+
+// FitUniformFromTrace fits the uniform-risk life function by maximum
+// likelihood.
+func FitUniformFromTrace(obs []Observation) (Life, error) {
+	return trace.FitUniform(obs)
+}

@@ -1,0 +1,74 @@
+package cyclesteal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDiscreteFacade(t *testing.T) {
+	life, err := UniformRisk(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := DiscreteHorizonFor(life)
+	if h != 200 {
+		t.Errorf("horizon = %d, want 200", h)
+	}
+	s, e, err := DiscreteOptimal(life, 1, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(e > 0) || s.Len() == 0 {
+		t.Fatalf("degenerate discrete optimum: E=%g m=%d", e, s.Len())
+	}
+	plan, err := Plan(life, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounded, err := RoundToIntegerPeriods(plan.Schedule, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ExpectedWork(rounded, life, 1); got < 0.995*e {
+		t.Errorf("rounded guideline %g far below integer optimum %g", got, e)
+	}
+}
+
+func TestWorstCaseFacade(t *testing.T) {
+	s, g, err := WorstCaseOptimal(1000, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-GuaranteedWork(s, 1, 4)) > 1e-9 {
+		t.Errorf("reported guarantee %g disagrees with GuaranteedWork", g)
+	}
+	closed := 1000 - 2*math.Sqrt(4*1000.0) + 4
+	if math.Abs(g-closed) > 5 {
+		t.Errorf("guarantee %g far from closed form %g", g, closed)
+	}
+}
+
+func TestParametricFitFacade(t *testing.T) {
+	truth, err := HalfLife(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := SampleAbsences(truth, 4000, NewRand(3))
+	fit, err := FitHalfLifeFromTrace(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fitted half-life is where P = 0.5.
+	if p := fit.P(32); math.Abs(p-0.5) > 0.02 {
+		t.Errorf("fitted P(32) = %g, want ~0.5", p)
+	}
+	uTruth, _ := UniformRisk(120)
+	uObs := SampleAbsences(uTruth, 4000, NewRand(5))
+	uFit, err := FitUniformFromTrace(uObs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := uFit.P(60); math.Abs(p-0.5) > 0.02 {
+		t.Errorf("fitted uniform P(60) = %g, want ~0.5", p)
+	}
+}
