@@ -1,0 +1,37 @@
+# Development targets. `make ci` is the gate a change must pass;
+# `make bench-obs` snapshots the observability overhead claim.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt-check ci bench bench-obs
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+ci: fmt-check vet build race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Writes BENCH_obs.json: baseline vs nil-sink vs jsonl-sink episode
+# runner timings, plus the measured nil-sink overhead percentage.
+bench-obs:
+	BENCH_OBS_OUT=$(CURDIR)/BENCH_obs.json $(GO) test ./internal/nowsim -run TestObsOverheadSnapshot -v
+	@cat $(CURDIR)/BENCH_obs.json

@@ -7,6 +7,7 @@
 //	cssim -life uniform -L 1000 -c 1 -episodes 100000
 //	cssim -life geomdec -halflife 32 -c 1 -policy fixed -chunk 10
 //	cssim -life geominc -L 64 -c 1 -policy progressive
+//	cssim -episodes 2000 -trace episodes.jsonl      # structured trace
 package main
 
 import (
@@ -16,9 +17,8 @@ import (
 	"os"
 
 	"repro/internal/core"
-	"repro/internal/lifefn"
 	"repro/internal/nowsim"
-	"repro/internal/sched"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -28,47 +28,52 @@ func main() {
 		halfLife = flag.Float64("halflife", 32, "half-life (geomdec)")
 		d        = flag.Int("d", 2, "exponent (poly)")
 		c        = flag.Float64("c", 1, "per-period communication overhead")
-		policy   = flag.String("policy", "guideline", "policy: guideline, fixed, progressive")
+		policy   = flag.String("policy", "guideline", "policy: guideline, fixed, progressive, allatonce")
 		chunk    = flag.Float64("chunk", 10, "chunk size (fixed policy)")
 		episodes = flag.Int("episodes", 100000, "number of Monte-Carlo episodes")
 		seed     = flag.Uint64("seed", 1, "RNG seed")
 	)
+	var obsFlags obs.Flags
+	obsFlags.Register(nil)
 	flag.Parse()
 
-	life, err := buildLife(*lifeName, *lifespan, *halfLife, *d)
+	life, err := nowsim.BuildLife(*lifeName, *lifespan, *halfLife, *d)
 	if err != nil {
 		fatal(err)
 	}
 
-	var (
-		pol      nowsim.Policy
-		analytic = math.NaN()
-	)
-	switch *policy {
-	case "guideline":
-		pl, err := core.NewPlanner(life, *c, core.PlanOptions{})
-		if err != nil {
-			fatal(err)
-		}
-		plan, err := pl.PlanBest()
-		if err != nil {
-			fatal(err)
-		}
-		pol = nowsim.NewSchedulePolicy(plan.Schedule, "guideline")
-		analytic = plan.ExpectedWork
-	case "fixed":
-		pol = &nowsim.FixedChunkPolicy{Chunk: *chunk}
-	case "progressive":
-		pp, err := nowsim.NewProgressivePolicy(life, *c, core.PlanOptions{})
-		if err != nil {
-			fatal(err)
-		}
-		pol = pp
-	default:
-		fatal(fmt.Errorf("unknown policy %q", *policy))
+	// The historical -policy fixed + -chunk pair maps onto the shared
+	// "fixed:<chunk>" spec; all other names pass through unchanged.
+	polSpec := *policy
+	if polSpec == "fixed" {
+		polSpec = fmt.Sprintf("fixed:%g", *chunk)
+	}
+	spec, err := nowsim.ParsePolicy(polSpec, life, *c, core.PlanOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	analytic := math.NaN()
+	if spec.Plan != nil {
+		analytic = spec.Plan.ExpectedWork
 	}
 
-	res := nowsim.MonteCarlo(pol, nowsim.LifeOwner{Life: life}, *c, *episodes, *seed)
+	reg := obs.NewRegistry()
+	session, err := obsFlags.Setup(reg)
+	if err != nil {
+		fatal(err)
+	}
+	defer session.Close()
+	o := nowsim.Obs{Sink: session.Sink}
+	if session.Server != nil {
+		o.Metrics = reg
+		fmt.Fprintf(os.Stderr, "cssim: serving metrics on %s\n", session.Server.Addr())
+	}
+
+	pol := spec.Factory()
+	res := nowsim.MonteCarloObs(pol, nowsim.LifeOwner{Life: life}, *c, *episodes, *seed, o)
+	if err := session.Close(); err != nil {
+		fatal(err)
+	}
 	fmt.Printf("scenario      : %s, c=%g, policy=%s, %d episodes (seed %d)\n",
 		life, *c, pol, *episodes, *seed)
 	fmt.Printf("work          : %s\n", res.Work)
@@ -81,25 +86,6 @@ func main() {
 			z = math.Abs(res.Work.Mean-analytic) / res.Work.StdErr
 		}
 		fmt.Printf("analytic E    : %.6g (z = %.2f)\n", analytic, z)
-	}
-	_ = sched.Schedule{}
-}
-
-func buildLife(name string, lifespan, halfLife float64, d int) (lifefn.Life, error) {
-	switch name {
-	case "uniform":
-		return lifefn.NewUniform(lifespan)
-	case "poly":
-		return lifefn.NewPoly(d, lifespan)
-	case "geomdec":
-		if !(halfLife > 0) {
-			return nil, fmt.Errorf("cssim: half-life must be positive, got %g", halfLife)
-		}
-		return lifefn.NewGeomDecreasing(math.Pow(2, 1/halfLife))
-	case "geominc":
-		return lifefn.NewGeomIncreasing(lifespan)
-	default:
-		return nil, fmt.Errorf("cssim: unknown life function %q", name)
 	}
 }
 

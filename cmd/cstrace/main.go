@@ -8,16 +8,18 @@
 //
 //	cstrace -truth uniform -L 200 -sessions 1000 -c 1
 //	cstrace -truth geomdec -halflife 32 -sessions 500 -censor 60
+//	cstrace -trace plans.json -trace-format chrome   # schedule timeline
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math"
 	"os"
 
 	"repro/internal/core"
 	"repro/internal/lifefn"
+	"repro/internal/nowsim"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/trace"
@@ -35,18 +37,32 @@ func main() {
 		c         = flag.Float64("c", 1, "per-period communication overhead")
 		seed      = flag.Uint64("seed", 1, "RNG seed")
 	)
+	var obsFlags obs.Flags
+	obsFlags.Register(nil)
 	flag.Parse()
 
-	truth, err := buildLife(*truthName, *lifespan, *halfLife, *d)
+	truth, err := nowsim.BuildLife(*truthName, *lifespan, *halfLife, *d)
 	if err != nil {
 		fatal(err)
 	}
 
-	obs := trace.SampleAbsences(truth, *sessions, rng.New(*seed))
-	if *censor > 0 {
-		obs = trace.CensorAt(obs, *censor)
+	reg := obs.NewRegistry()
+	session, err := obsFlags.Setup(reg)
+	if err != nil {
+		fatal(err)
 	}
-	fit, err := trace.FitLife(obs, trace.FitOptions{Knots: *knots})
+	defer session.Close()
+	var metrics *obs.Registry
+	if session.Server != nil {
+		metrics = reg
+		fmt.Fprintf(os.Stderr, "cstrace: serving metrics on %s\n", session.Server.Addr())
+	}
+
+	absences := trace.SampleAbsences(truth, *sessions, rng.New(*seed))
+	if *censor > 0 {
+		absences = trace.CensorAt(absences, *censor)
+	}
+	fit, err := trace.FitLife(absences, trace.FitOptions{Knots: *knots})
 	if err != nil {
 		fatal(fmt.Errorf("fit failed: %w", err))
 	}
@@ -58,43 +74,47 @@ func main() {
 	fmt.Printf("fitted         : %s (shape %s, horizon %g)\n", fit, fit.Shape(), fit.Horizon())
 	fmt.Printf("KS distance    : %.4f\n", ks)
 
-	truthPlan, err := plan(truth, *c)
+	truthPlan, err := plan(truth, *c, metrics)
 	if err != nil {
 		fatal(fmt.Errorf("planning on truth: %w", err))
 	}
-	fitPlan, err := plan(fit, *c)
+	fitPlan, err := plan(fit, *c, metrics)
 	if err != nil {
 		fatal(fmt.Errorf("planning on fit: %w", err))
 	}
+	if session.Sink != nil {
+		// Render the two schedules as timelines: the truth plan traces as
+		// worker 0, the fit plan as worker 1, each period a
+		// dispatch/commit span — chrome format shows them side by side.
+		emitPlan(session.Sink, 0, truthPlan)
+		emitPlan(session.Sink, 1, fitPlan)
+	}
 	eUnderTruth := sched.ExpectedWork(fitPlan.Schedule, truth, *c)
+	if err := session.Close(); err != nil {
+		fatal(err)
+	}
 	fmt.Printf("plan on truth  : t0 %.5g, m %d, E %.6g\n", truthPlan.T0, truthPlan.Schedule.Len(), truthPlan.ExpectedWork)
 	fmt.Printf("plan on fit    : t0 %.5g, m %d, E-under-truth %.6g\n", fitPlan.T0, fitPlan.Schedule.Len(), eUnderTruth)
 	fmt.Printf("regret         : %.3f%%\n", 100*(1-eUnderTruth/truthPlan.ExpectedWork))
 }
 
-func plan(l lifefn.Life, c float64) (core.Plan, error) {
-	pl, err := core.NewPlanner(l, c, core.PlanOptions{})
+func plan(l lifefn.Life, c float64, metrics *obs.Registry) (core.Plan, error) {
+	pl, err := core.NewPlanner(l, c, core.PlanOptions{Metrics: metrics})
 	if err != nil {
 		return core.Plan{}, err
 	}
 	return pl.PlanBest()
 }
 
-func buildLife(name string, lifespan, halfLife float64, d int) (lifefn.Life, error) {
-	switch name {
-	case "uniform":
-		return lifefn.NewUniform(lifespan)
-	case "poly":
-		return lifefn.NewPoly(d, lifespan)
-	case "geomdec":
-		if !(halfLife > 0) {
-			return nil, fmt.Errorf("cstrace: half-life must be positive, got %g", halfLife)
-		}
-		return lifefn.NewGeomDecreasing(math.Pow(2, 1/halfLife))
-	case "geominc":
-		return lifefn.NewGeomIncreasing(lifespan)
-	default:
-		return nil, fmt.Errorf("cstrace: unknown life function %q", name)
+// emitPlan replays a plan's schedule as dispatch/commit event pairs on
+// the given worker lane, so trace exporters render it as a timeline.
+func emitPlan(sink obs.Sink, worker int, p core.Plan) {
+	now := 0.0
+	for i := 0; i < p.Schedule.Len(); i++ {
+		t := p.Schedule.Period(i)
+		sink.Emit(obs.Event{Time: now, Worker: worker, Kind: nowsim.EventDispatch.String(), Period: i, Length: t})
+		now += t
+		sink.Emit(obs.Event{Time: now, Worker: worker, Kind: nowsim.EventCommit.String(), Period: i, Length: t})
 	}
 }
 

@@ -1,0 +1,82 @@
+// Observability: wire a trace sink and a metrics registry into a small
+// task-farm simulation, then show what falls out — a structured JSONL
+// event stream on stderr-adjacent files and a Prometheus text
+// exposition on stdout.
+//
+// The same plumbing backs the CLI flags (-trace, -trace-format,
+// -metrics-addr) on csfarm, cssim and cstrace; see README
+// "Observability" and DESIGN.md §6.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/lifefn"
+	"repro/internal/nowsim"
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+func main() {
+	const (
+		overhead = 1.0
+		workers  = 3
+		tasks    = 300
+	)
+
+	// A buffer sink captures every simulation event in memory; a JSONL
+	// or Chrome sink writing to a file drops in the same slot.
+	var sink obs.BufferSink
+	reg := obs.NewRegistry()
+
+	ws := make([]nowsim.Worker, workers)
+	for i := range ws {
+		l, err := lifefn.NewUniform(120 + 40*float64(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ws[i] = nowsim.Worker{
+			ID:    i,
+			Owner: nowsim.LifeOwner{Life: l},
+			BusySampler: func(r *rng.Source) float64 {
+				return r.Uniform(10, 30)
+			},
+			PolicyFactory: func() nowsim.Policy {
+				return &nowsim.FixedChunkPolicy{Chunk: 20}
+			},
+		}
+	}
+	pool, err := nowsim.NewWorkload(nowsim.WorkloadSpec{
+		Tasks: tasks, Dist: nowsim.DistUniform, Lo: 0.5, Hi: 3,
+	}, rng.New(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := nowsim.RunFarm(nowsim.FarmConfig{
+		Workers:  ws,
+		Overhead: overhead,
+		Seed:     7,
+		MaxTime:  1e7,
+		Obs:      nowsim.Obs{Sink: &sink, Metrics: reg},
+	}, pool)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("farm: makespan %.0f, committed %.0f, drained %v\n",
+		res.Makespan, res.CommittedWork, res.Drained)
+
+	events := sink.Events
+	fmt.Printf("\ntrace: %d events; the first five:\n", len(events))
+	for _, e := range events[:5] {
+		fmt.Printf("  t=%-8.2f worker=%d %-13s period=%d len=%.1f tasks=%d\n",
+			e.Time, e.Worker, e.Kind, e.Period, e.Length, e.Tasks)
+	}
+
+	fmt.Println("\nPrometheus exposition (/metrics):")
+	if err := reg.WritePrometheus(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

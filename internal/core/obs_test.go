@@ -1,0 +1,80 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lifefn"
+	"repro/internal/obs"
+)
+
+// TestPlanBestPublishesMetrics checks that a planning run with a
+// registry wired through PlanOptions.Metrics records the search's
+// shape: a positive bracket width, at least ScanPoints objective
+// evaluations, and the plan's own summary numbers.
+func TestPlanBestPublishesMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	l, lerr := lifefn.NewUniform(100)
+	if lerr != nil {
+		t.Fatal(lerr)
+	}
+	pl, err := NewPlanner(l, 1, PlanOptions{ScanPoints: 16, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := pl.PlanBest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Evaluations < 16 {
+		t.Errorf("Evaluations = %d, want >= ScanPoints (16)", plan.Evaluations)
+	}
+	checks := map[string]float64{
+		"cs_plan_t0_bracket_width":   plan.Bracket.Hi - plan.Bracket.Lo,
+		"cs_plan_search_evaluations": float64(plan.Evaluations),
+		"cs_plan_schedule_periods":   float64(plan.Schedule.Len()),
+		"cs_plan_t0":                 plan.T0,
+		"cs_plan_expected_work":      plan.ExpectedWork,
+	}
+	for name, want := range checks {
+		if got := reg.Gauge(name, "").Value(); got != want {
+			t.Errorf("%s = %g, want %g", name, got, want)
+		}
+	}
+	if w := plan.Bracket.Hi - plan.Bracket.Lo; !(w > 0) {
+		t.Errorf("bracket width %g, want > 0", w)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "cs_plan_expected_work") {
+		t.Errorf("exposition missing cs_plan_expected_work:\n%s", sb.String())
+	}
+}
+
+// TestPlanBestNilMetrics pins that planning without a registry is
+// unchanged: same plan, no panic, Evaluations still counted.
+func TestPlanBestNilMetrics(t *testing.T) {
+	l, lerr := lifefn.NewUniform(100)
+	if lerr != nil {
+		t.Fatal(lerr)
+	}
+	mk := func(reg *obs.Registry) Plan {
+		pl, err := NewPlanner(l, 1, PlanOptions{ScanPoints: 16, Metrics: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := pl.PlanBest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan
+	}
+	plain := mk(nil)
+	observed := mk(obs.NewRegistry())
+	if plain.T0 != observed.T0 || plain.ExpectedWork != observed.ExpectedWork ||
+		plain.Evaluations != observed.Evaluations {
+		t.Errorf("plan differs with metrics enabled: %+v vs %+v", plain, observed)
+	}
+}

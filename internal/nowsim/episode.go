@@ -101,6 +101,90 @@ func RunEpisode(policy Policy, c, reclaim float64) EpisodeResult {
 	return res
 }
 
+// runEpisodeEmit is RunEpisode with a structured event hook: emit
+// receives the log as it happens (RunEpisodeRecorded collects it;
+// RunEpisodeObs forwards it to an obs.Sink). It is a separate loop
+// rather than a hook inside RunEpisode because the hook's captured
+// variables enlarge every per-period closure — measurably (>10%) more
+// than the ≤2% disabled-cost budget even when emit is nil. The two
+// loops must compute identical results for identical inputs; the
+// determinism and recorded-vs-plain regression tests pin that
+// equivalence, so edits to either loop must keep its twin in step.
+func runEpisodeEmit(policy Policy, c, reclaim float64, emit func(EpisodeEvent)) EpisodeResult {
+	if c < 0 {
+		panic(fmt.Sprintf("nowsim: negative overhead %g", c))
+	}
+	policy.Reset()
+	var (
+		eng   Engine
+		res   EpisodeResult
+		end   bool
+		owner Handle
+	)
+	ownerBack := func() {
+		end = true
+		res.Reclaimed = true
+		res.Duration = eng.Now()
+	}
+	if reclaim >= 0 && reclaim < 1e300 {
+		owner = eng.At(reclaim, ownerBack)
+	}
+	var dispatch func()
+	dispatch = func() {
+		if end {
+			return
+		}
+		t, ok := policy.NextPeriod(eng.Now())
+		if !ok || t <= 0 {
+			end = true
+			res.Duration = eng.Now()
+			owner.Cancel()
+			emit(EpisodeEvent{Time: eng.Now(), Kind: EventVoluntaryEnd, Period: -1})
+			return
+		}
+		idx := res.PeriodsDispatched
+		res.PeriodsDispatched++
+		emit(EpisodeEvent{Time: eng.Now(), Kind: EventDispatch, Period: idx, Length: t})
+		periodEnd := eng.Now() + t
+		if periodEnd < reclaim {
+			eng.At(periodEnd, func() {
+				if end {
+					return
+				}
+				res.PeriodsCommitted++
+				res.Work += sched.PositiveSub(t, c)
+				if t > c {
+					res.Overhead += c
+				} else {
+					res.Overhead += t
+				}
+				emit(EpisodeEvent{Time: eng.Now(), Kind: EventCommit, Period: idx, Length: t})
+				dispatch()
+			})
+			return
+		}
+		res.Lost += sched.PositiveSub(t, c)
+		eng.At(reclaim, func() {
+			emit(EpisodeEvent{Time: eng.Now(), Kind: EventKill, Period: idx, Length: t})
+		})
+	}
+	dispatch()
+	eng.RunAll()
+	if !res.Reclaimed && res.Duration == 0 {
+		res.Duration = eng.Now()
+	}
+	return res
+}
+
+// runEpisodeMaybe routes through the hooked loop only when emit is
+// non-nil, keeping unobserved runs on the fast runner.
+func runEpisodeMaybe(policy Policy, c, reclaim float64, emit func(EpisodeEvent)) EpisodeResult {
+	if emit == nil {
+		return RunEpisode(policy, c, reclaim)
+	}
+	return runEpisodeEmit(policy, c, reclaim, emit)
+}
+
 // MonteCarloResult aggregates a Monte-Carlo run of episodes.
 type MonteCarloResult struct {
 	Work      stats.Summary
@@ -115,12 +199,25 @@ type MonteCarloResult struct {
 // aggregate statistics. The mean of Work estimates E(S; p) when the
 // policy plays a fixed schedule and the owner's survival is p.
 func MonteCarlo(policy Policy, owner Owner, c float64, n int, seed uint64) MonteCarloResult {
+	return MonteCarloObs(policy, owner, c, n, seed, Obs{})
+}
+
+// MonteCarloObs is MonteCarlo with observability: every episode's
+// events stream to o.Sink (worker 0) and o.Metrics accumulates the
+// standard metric set. The RNG stream is consumed outside the episode
+// runner, so the aggregate statistics are identical with the sink
+// enabled or disabled — the determinism regression tests assert this
+// byte for byte.
+func MonteCarloObs(policy Policy, owner Owner, c float64, n int, seed uint64, o Obs) MonteCarloResult {
 	src := rng.New(seed)
+	m := newSimMetrics(o.Metrics, c)
+	emit := o.episodeEmit(0, m)
 	var work, lost, periods stats.Running
 	var reclaimed int64
 	for i := 0; i < n; i++ {
 		r := owner.ReclaimAfter(src)
-		res := RunEpisode(policy, c, r)
+		res := runEpisodeMaybe(policy, c, r, emit)
+		m.episodeDone()
 		work.Add(res.Work)
 		lost.Add(res.Lost)
 		periods.Add(float64(res.PeriodsCommitted))

@@ -45,6 +45,14 @@ type FarmConfig struct {
 	// MaxTime aborts the run if the pool is not drained by then.
 	// Zero means 1e9.
 	MaxTime float64
+	// Obs is the optional observability bundle. When enabled, the run
+	// streams episode-start/dispatch/commit/kill/steal/voluntary-end
+	// events to Obs.Sink tagged with Worker.ID (IDs should be unique:
+	// the Chrome exporter keys timeline rows and open period spans by
+	// them), and Obs.Metrics accumulates the farm-wide cs_* series plus
+	// per-worker committed/lost/overhead series. Instrumentation never
+	// changes the simulation: results are identical with or without it.
+	Obs Obs
 }
 
 // WorkerStats summarizes one worker's participation.
@@ -120,10 +128,12 @@ func RunFarm(cfg FarmConfig, pool *TaskPool) (FarmResult, error) {
 			spec:  cfg.Workers[i],
 			stats: &res.PerWorker[i],
 			src:   root.Split(),
+			idx:   i,
 		}
 		w.stats.ID = cfg.Workers[i].ID
 		workers[i] = w
 	}
+	fo := newFarmObs(cfg.Obs, cfg.Overhead, cfg.Workers)
 
 	checkDone := func() {
 		if !done && pool.Remaining() == 0 && inFlight == 0 {
@@ -160,6 +170,7 @@ func RunFarm(cfg FarmConfig, pool *TaskPool) (FarmResult, error) {
 		policy.Reset()
 		w.stats.Episodes++
 		res.Episodes++
+		fo.episodeStart(w, eng.Now())
 		episodeStart := eng.Now()
 		reclaimAt := episodeStart + w.spec.Owner.ReclaimAfter(w.src)
 		reclaimed := false
@@ -193,6 +204,7 @@ func RunFarm(cfg FarmConfig, pool *TaskPool) (FarmResult, error) {
 			}
 			t, ok := policy.NextPeriod(eng.Now() - episodeStart)
 			if !ok || t <= cfg.Overhead {
+				fo.voluntaryEnd(w, eng.Now())
 				endEpisode(false)
 				return
 			}
@@ -201,9 +213,11 @@ func RunFarm(cfg FarmConfig, pool *TaskPool) (FarmResult, error) {
 			// time.
 			bundle, used := pool.TakeBundle((t - cfg.Overhead) * w.spec.speed())
 			if len(bundle) == 0 {
+				fo.voluntaryEnd(w, eng.Now())
 				endEpisode(false)
 				return
 			}
+			period := fo.dispatch(w, eng.Now(), t, bundle)
 			inFlight++
 			periodEnd := eng.Now() + t
 			if periodEnd < reclaimAt {
@@ -215,6 +229,7 @@ func RunFarm(cfg FarmConfig, pool *TaskPool) (FarmResult, error) {
 					res.TasksCompleted += len(bundle)
 					res.CommittedWork += used
 					res.OverheadTime += cfg.Overhead
+					fo.commit(w, period, eng.Now(), t, used, bundle)
 					pool.Commit(bundle)
 					checkDone()
 					if done {
@@ -231,6 +246,7 @@ func RunFarm(cfg FarmConfig, pool *TaskPool) (FarmResult, error) {
 				w.stats.TasksLost += len(bundle)
 				w.stats.LostWork += used
 				res.LostWork += used
+				fo.kill(w, period, eng.Now(), t, used, bundle)
 				pool.Requeue(bundle)
 				wake()
 				endEpisode(true)
@@ -251,6 +267,7 @@ func RunFarm(cfg FarmConfig, pool *TaskPool) (FarmResult, error) {
 	if !res.Drained {
 		res.Makespan = math.Min(eng.Now(), maxTime)
 	}
+	fo.finish(&eng, &res)
 	return res, nil
 }
 
@@ -258,4 +275,5 @@ type farmWorker struct {
 	spec  Worker
 	stats *WorkerStats
 	src   *rng.Source
+	idx   int
 }

@@ -1,0 +1,315 @@
+package nowsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/lifefn"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+func testLife(t testing.TB) lifefn.Life {
+	t.Helper()
+	l, err := lifefn.NewUniform(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestRunEpisodeObsMatchesRecorded: the obs event stream is exactly the
+// recorded log, tagged with the worker index.
+func TestRunEpisodeObsMatchesRecorded(t *testing.T) {
+	s := sched.MustNew(4, 3, 2)
+	var buf obs.BufferSink
+	res := RunEpisodeObs(NewSchedulePolicy(s, "obs"), 1, 8, 7, Obs{Sink: &buf})
+	plain, log := RunEpisodeRecorded(NewSchedulePolicy(s, "rec"), 1, 8)
+	if res != plain {
+		t.Errorf("observed result %+v != recorded result %+v", res, plain)
+	}
+	if len(buf.Events) != len(log) {
+		t.Fatalf("sink got %d events, recorder %d", len(buf.Events), len(log))
+	}
+	for i := range log {
+		want := log[i].TraceEvent(7)
+		if buf.Events[i] != want {
+			t.Errorf("event %d = %+v, want %+v", i, buf.Events[i], want)
+		}
+	}
+}
+
+// TestMonteCarloDeterminism: identical seeds produce identical results
+// with the sink enabled vs. disabled, and byte-identical JSONL traces
+// across repeated runs — the satellite regression the ISSUE demands.
+func TestMonteCarloDeterminism(t *testing.T) {
+	l := testLife(t)
+	owner := LifeOwner{Life: l}
+	pol := func() Policy { return &FixedChunkPolicy{Chunk: 7} }
+
+	run := func(o Obs) MonteCarloResult { return MonteCarloObs(pol(), owner, 1, 500, 42, o) }
+	plain := MonteCarlo(pol(), owner, 1, 500, 42)
+
+	trace := func() ([]byte, MonteCarloResult) {
+		var buf bytes.Buffer
+		sink := obs.NewJSONLSink(&buf)
+		res := run(Obs{Sink: sink, Metrics: obs.NewRegistry()})
+		if err := sink.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), res
+	}
+	b1, r1 := trace()
+	b2, r2 := trace()
+	if !bytes.Equal(b1, b2) {
+		t.Error("JSONL traces from identical seeds are not byte-identical")
+	}
+	if len(b1) == 0 {
+		t.Fatal("trace is empty")
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("observed runs differ: %+v vs %+v", r1, r2)
+	}
+	if !reflect.DeepEqual(r1, plain) {
+		t.Errorf("sink-enabled result %+v != sink-disabled result %+v", r1, plain)
+	}
+}
+
+func TestMonteCarloAntitheticDeterminism(t *testing.T) {
+	l := testLife(t)
+	pol := func() Policy { return &FixedChunkPolicy{Chunk: 7} }
+	plain := MonteCarloAntithetic(pol(), l, 1, 200, 99)
+
+	trace := func() ([]byte, MonteCarloResult) {
+		var buf bytes.Buffer
+		sink := obs.NewJSONLSink(&buf)
+		res := MonteCarloAntitheticObs(pol(), l, 1, 200, 99, Obs{Sink: sink})
+		if err := sink.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), res
+	}
+	b1, r1 := trace()
+	b2, r2 := trace()
+	if !bytes.Equal(b1, b2) {
+		t.Error("antithetic JSONL traces are not byte-identical")
+	}
+	if !reflect.DeepEqual(r1, r2) || !reflect.DeepEqual(r1, plain) {
+		t.Errorf("antithetic observed %+v, repeat %+v, plain %+v", r1, r2, plain)
+	}
+}
+
+// TestMonteCarloParallelObsDeterminism: the parallel harness replays
+// block buffers in order, so trace and results are identical for any
+// worker count and identical to the sequential run.
+func TestMonteCarloParallelObsDeterminism(t *testing.T) {
+	l := testLife(t)
+	owner := LifeOwner{Life: l}
+	factory := func() Policy { return &FixedChunkPolicy{Chunk: 7} }
+
+	trace := func(workers int) ([]byte, MonteCarloResult) {
+		var buf bytes.Buffer
+		sink := obs.NewJSONLSink(&buf)
+		res := MonteCarloParallelObs(factory, owner, 1, 3000, 5, workers, Obs{Sink: sink})
+		if err := sink.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), res
+	}
+	b2, r2 := trace(2)
+	b8, r8 := trace(8)
+	if !bytes.Equal(b2, b8) {
+		t.Error("parallel traces differ across worker counts")
+	}
+	if !reflect.DeepEqual(r2, r8) {
+		t.Errorf("parallel results differ across worker counts: %+v vs %+v", r2, r8)
+	}
+	plain := MonteCarloParallel(factory, owner, 1, 3000, 5, 4)
+	if !reflect.DeepEqual(r2, plain) {
+		t.Errorf("observed parallel %+v != plain parallel %+v", r2, plain)
+	}
+}
+
+func farmConfig(t testing.TB, o Obs) (FarmConfig, *TaskPool) {
+	t.Helper()
+	l, err := lifefn.NewUniform(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := make([]Worker, 4)
+	for i := range ws {
+		ws[i] = Worker{
+			ID:    i,
+			Owner: LifeOwner{Life: l},
+			BusySampler: func(r *rng.Source) float64 {
+				return r.Uniform(5, 20)
+			},
+			PolicyFactory: func() Policy { return &FixedChunkPolicy{Chunk: 25} },
+		}
+	}
+	pool, err := NewUniformTasks(400, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FarmConfig{Workers: ws, Overhead: 1, Seed: 11, MaxTime: 1e6, Obs: o}, pool
+}
+
+// TestRunFarmObsNeutral: instrumentation does not change farm results.
+func TestRunFarmObsNeutral(t *testing.T) {
+	cfgPlain, poolPlain := farmConfig(t, Obs{})
+	plain, err := RunFarm(cfgPlain, poolPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf obs.BufferSink
+	reg := obs.NewRegistry()
+	cfgObs, poolObs := farmConfig(t, Obs{Sink: &buf, Metrics: reg})
+	observed, err := RunFarm(cfgObs, poolObs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, observed) {
+		t.Errorf("farm results differ:\nplain    %+v\nobserved %+v", plain, observed)
+	}
+	if len(buf.Events) == 0 {
+		t.Fatal("farm emitted no events")
+	}
+	kinds := map[string]int{}
+	for _, e := range buf.Events {
+		kinds[e.Kind]++
+	}
+	for _, k := range []string{"episode-start", "dispatch", "commit"} {
+		if kinds[k] == 0 {
+			t.Errorf("no %q events in farm trace (kinds: %v)", k, kinds)
+		}
+	}
+	// The uniform(60) owners reclaim often against chunk-25 periods, so
+	// kills — and with 4 workers sharing a pool, steals — must occur.
+	if kinds["kill"] == 0 {
+		t.Errorf("no kill events (kinds: %v)", kinds)
+	}
+	if kinds["steal"] == 0 {
+		t.Errorf("no steal events despite kills and a shared pool (kinds: %v)", kinds)
+	}
+	// Metrics must agree with the result's own accounting.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"cs_committed_work", "cs_worker_committed_work{worker=\"0\"}",
+		"cs_engine_events_fired", "cs_farm_makespan", "cs_steal_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if got := reg.Gauge("cs_committed_work", "").Value(); math.Abs(got-observed.CommittedWork) > 1e-9 {
+		t.Errorf("cs_committed_work = %g, result says %g", got, observed.CommittedWork)
+	}
+	if got := reg.Counter("cs_episodes_total", "").Value(); got != uint64(observed.Episodes) {
+		t.Errorf("cs_episodes_total = %d, result says %d", got, observed.Episodes)
+	}
+}
+
+// TestFarmChromeTraceValid: the acceptance-criterion check — a farm run
+// exported through the Chrome sink is valid trace_event JSON that
+// Perfetto will load.
+func TestFarmChromeTraceValid(t *testing.T) {
+	var raw bytes.Buffer
+	sink := obs.NewChromeSink(&raw)
+	cfg, pool := farmConfig(t, Obs{Sink: sink})
+	if _, err := RunFarm(cfg, pool); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		DisplayTimeUnit string                   `json:"displayTimeUnit"`
+		TraceEvents     []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw.Bytes(), &tr); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+	slices := 0
+	for _, ev := range tr.TraceEvents {
+		for _, key := range []string{"ph", "pid", "tid", "name"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event missing %q: %v", key, ev)
+			}
+		}
+		if ev["ph"] == "X" {
+			slices++
+			if _, ok := ev["ts"]; !ok {
+				t.Fatalf("slice missing ts: %v", ev)
+			}
+			if _, ok := ev["dur"]; !ok {
+				t.Fatalf("slice missing dur: %v", ev)
+			}
+		}
+	}
+	if slices == 0 {
+		t.Error("no complete (ph=X) period slices in farm trace")
+	}
+}
+
+// TestEventKindRoundTrip: every kind names itself and survives the
+// trace encoder; unknown kinds fall back cleanly.
+func TestEventKindRoundTrip(t *testing.T) {
+	kinds := []EventKind{
+		EventDispatch, EventCommit, EventKill,
+		EventVoluntaryEnd, EventSteal, EventEpisodeStart,
+	}
+	wantNames := []string{
+		"dispatch", "commit", "kill",
+		"voluntary-end", "steal", "episode-start",
+	}
+	for i, k := range kinds {
+		if k.String() != wantNames[i] {
+			t.Errorf("kind %d String() = %q, want %q", int(k), k.String(), wantNames[i])
+		}
+		ev := EpisodeEvent{Time: 1.5, Kind: k, Period: i, Length: 2.25}
+		te := ev.TraceEvent(3)
+		if te.Kind != wantNames[i] || te.Worker != 3 || te.Time != 1.5 || te.Period != i || te.Length != 2.25 {
+			t.Errorf("TraceEvent round-trip for %v = %+v", k, te)
+		}
+		// Both exporters must accept every kind without error.
+		var jbuf, cbuf bytes.Buffer
+		js, cs := obs.NewJSONLSink(&jbuf), obs.NewChromeSink(&cbuf)
+		js.Emit(te)
+		cs.Emit(te)
+		if err := js.Close(); err != nil {
+			t.Errorf("JSONL encode of %v: %v", k, err)
+		}
+		if err := cs.Close(); err != nil {
+			t.Errorf("chrome encode of %v: %v", k, err)
+		}
+		if !json.Valid(cbuf.Bytes()) {
+			t.Errorf("chrome encoding of %v is invalid JSON", k)
+		}
+		var line struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(bytes.TrimSpace(jbuf.Bytes()), &line); err != nil || line.Kind != wantNames[i] {
+			t.Errorf("JSONL round-trip of %v: kind %q, err %v", k, line.Kind, err)
+		}
+	}
+	unknown := EventKind(99)
+	if unknown.String() != "unknown" {
+		t.Errorf("EventKind(99).String() = %q, want \"unknown\"", unknown.String())
+	}
+	te := EpisodeEvent{Kind: unknown}.TraceEvent(0)
+	if te.Kind != "unknown" {
+		t.Errorf("unknown kind trace event = %+v", te)
+	}
+}

@@ -18,7 +18,16 @@ import (
 // variance versus plain sampling at equal episode counts — the bench
 // suite quantifies the savings. n is the number of pairs (2n episodes).
 func MonteCarloAntithetic(policy Policy, l lifefn.Life, c float64, n int, seed uint64) MonteCarloResult {
+	return MonteCarloAntitheticObs(policy, l, c, n, seed, Obs{})
+}
+
+// MonteCarloAntitheticObs is MonteCarloAntithetic with observability
+// (see MonteCarloObs); both episodes of a pair trace as worker 0, in
+// order. Results are identical with or without instrumentation.
+func MonteCarloAntitheticObs(policy Policy, l lifefn.Life, c float64, n int, seed uint64, o Obs) MonteCarloResult {
 	src := rng.New(seed)
+	m := newSimMetrics(o.Metrics, c)
+	emit := o.episodeEmit(0, m)
 	var work, lost, periods stats.Running
 	var reclaimed int64
 	horizon := l.Horizon()
@@ -54,8 +63,10 @@ func MonteCarloAntithetic(policy Policy, l lifefn.Life, c float64, n int, seed u
 		u := src.Float64Open()
 		r1 := invert(u)
 		r2 := invert(1 - u)
-		a := RunEpisode(policy, c, r1)
-		b := RunEpisode(policy, c, r2)
+		a := runEpisodeMaybe(policy, c, r1, emit)
+		m.episodeDone()
+		b := runEpisodeMaybe(policy, c, r2, emit)
+		m.episodeDone()
 		work.Add((a.Work + b.Work) / 2)
 		lost.Add((a.Lost + b.Lost) / 2)
 		periods.Add(float64(a.PeriodsCommitted+b.PeriodsCommitted) / 2)
@@ -82,6 +93,16 @@ func MonteCarloAntithetic(policy Policy, l lifefn.Life, c float64, n int, seed u
 // bit-identical for any worker count — parallelism changes wall time,
 // never results. workers <= 0 uses GOMAXPROCS.
 func MonteCarloParallel(factory func() Policy, owner Owner, c float64, n int, seed uint64, workers int) MonteCarloResult {
+	return MonteCarloParallelObs(factory, owner, c, n, seed, workers, Obs{})
+}
+
+// MonteCarloParallelObs is MonteCarloParallel with observability.
+// Goroutines never touch the sink: each block buffers its events and
+// the buffers are replayed into o.Sink and o.Metrics in block order
+// after the join, so the trace (like the statistics) is bit-identical
+// for any worker count. Tracing a parallel run therefore holds all of
+// a block's events in memory; metrics alone are cheap.
+func MonteCarloParallelObs(factory func() Policy, owner Owner, c float64, n int, seed uint64, workers int, o Obs) MonteCarloResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -89,17 +110,19 @@ func MonteCarloParallel(factory func() Policy, owner Owner, c float64, n int, se
 		workers = n
 	}
 	if workers <= 1 {
-		return MonteCarlo(factory(), owner, c, n, seed)
+		return MonteCarloObs(factory(), owner, c, n, seed, o)
 	}
 	// Fixed-size blocks decouple the partitioning from the worker
 	// count: block b always simulates the same episodes with the same
 	// stream.
 	const blockSize = 1024
 	numBlocks := (n + blockSize - 1) / blockSize
+	observed := o.enabled()
 
 	type blockResult struct {
 		work, lost, periods stats.Running
 		reclaimed           int64
+		events              []EpisodeEvent
 	}
 	results := make([]blockResult, numBlocks)
 	var wg sync.WaitGroup
@@ -121,9 +144,13 @@ func MonteCarloParallel(factory func() Policy, owner Owner, c float64, n int, se
 				src := rng.New(seed ^ (0x9e3779b97f4a7c15 * uint64(b+1)))
 				policy := factory()
 				res := &results[b]
+				var emit func(EpisodeEvent)
+				if observed {
+					emit = func(e EpisodeEvent) { res.events = append(res.events, e) }
+				}
 				for i := 0; i < count; i++ {
 					r := owner.ReclaimAfter(src)
-					ep := RunEpisode(policy, c, r)
+					ep := runEpisodeMaybe(policy, c, r, emit)
 					res.work.Add(ep.Work)
 					res.lost.Add(ep.Lost)
 					res.periods.Add(float64(ep.PeriodsCommitted))
@@ -136,14 +163,25 @@ func MonteCarloParallel(factory func() Policy, owner Owner, c float64, n int, se
 	}
 	wg.Wait()
 
-	// Merge in block order: deterministic reduction.
+	// Merge in block order: deterministic reduction, for the trace and
+	// metrics as much as for the statistics.
 	var work, lost, periods stats.Running
 	var reclaimed int64
+	m := newSimMetrics(o.Metrics, c)
 	for b := range results {
 		work.Merge(results[b].work)
 		lost.Merge(results[b].lost)
 		periods.Merge(results[b].periods)
 		reclaimed += results[b].reclaimed
+		for _, e := range results[b].events {
+			if o.Sink != nil {
+				o.Sink.Emit(e.TraceEvent(0))
+			}
+			m.observe(e)
+		}
+	}
+	if m != nil {
+		m.episodes.Add(uint64(n))
 	}
 	return MonteCarloResult{
 		Work:      stats.Summarize(&work),

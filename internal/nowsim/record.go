@@ -2,8 +2,6 @@ package nowsim
 
 import (
 	"fmt"
-
-	"repro/internal/sched"
 )
 
 // EventKind tags entries of an episode's event log.
@@ -19,6 +17,11 @@ const (
 	EventKill
 	// EventVoluntaryEnd: the policy declined to dispatch further work.
 	EventVoluntaryEnd
+	// EventSteal: a farm worker picked up tasks another worker lost to
+	// its owner's return — work migrating across the farm.
+	EventSteal
+	// EventEpisodeStart: a farm worker began a cycle-stealing episode.
+	EventEpisodeStart
 )
 
 // String names the event kind.
@@ -32,6 +35,10 @@ func (k EventKind) String() string {
 		return "kill"
 	case EventVoluntaryEnd:
 		return "voluntary-end"
+	case EventSteal:
+		return "steal"
+	case EventEpisodeStart:
+		return "episode-start"
 	default:
 		return "unknown"
 	}
@@ -55,68 +62,9 @@ func (e EpisodeEvent) String() string {
 // shows exactly which periods the schedule risked and what the owner's
 // return destroyed.
 func RunEpisodeRecorded(policy Policy, c, reclaim float64) (EpisodeResult, []EpisodeEvent) {
-	if c < 0 {
-		panic(fmt.Sprintf("nowsim: negative overhead %g", c))
-	}
-	policy.Reset()
-	var (
-		eng   Engine
-		res   EpisodeResult
-		log   []EpisodeEvent
-		end   bool
-		owner Handle
-	)
-	ownerBack := func() {
-		end = true
-		res.Reclaimed = true
-		res.Duration = eng.Now()
-	}
-	if reclaim >= 0 && reclaim < 1e300 {
-		owner = eng.At(reclaim, ownerBack)
-	}
-	var dispatch func()
-	dispatch = func() {
-		if end {
-			return
-		}
-		t, ok := policy.NextPeriod(eng.Now())
-		if !ok || t <= 0 {
-			end = true
-			res.Duration = eng.Now()
-			owner.Cancel()
-			log = append(log, EpisodeEvent{Time: eng.Now(), Kind: EventVoluntaryEnd, Period: -1})
-			return
-		}
-		idx := res.PeriodsDispatched
-		res.PeriodsDispatched++
-		log = append(log, EpisodeEvent{Time: eng.Now(), Kind: EventDispatch, Period: idx, Length: t})
-		periodEnd := eng.Now() + t
-		if periodEnd < reclaim {
-			eng.At(periodEnd, func() {
-				if end {
-					return
-				}
-				res.PeriodsCommitted++
-				res.Work += sched.PositiveSub(t, c)
-				if t > c {
-					res.Overhead += c
-				} else {
-					res.Overhead += t
-				}
-				log = append(log, EpisodeEvent{Time: eng.Now(), Kind: EventCommit, Period: idx, Length: t})
-				dispatch()
-			})
-			return
-		}
-		res.Lost += sched.PositiveSub(t, c)
-		eng.At(reclaim, func() {
-			log = append(log, EpisodeEvent{Time: eng.Now(), Kind: EventKill, Period: idx, Length: t})
-		})
-	}
-	dispatch()
-	eng.RunAll()
-	if !res.Reclaimed && res.Duration == 0 {
-		res.Duration = eng.Now()
-	}
+	var log []EpisodeEvent
+	res := runEpisodeEmit(policy, c, reclaim, func(e EpisodeEvent) {
+		log = append(log, e)
+	})
 	return res, log
 }

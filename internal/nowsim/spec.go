@@ -1,0 +1,128 @@
+package nowsim
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/lifefn"
+)
+
+// PolicySpec is a parsed policy specification string. The textual specs
+// ("guideline", "progressive", "fixed:<chunk>", "allatonce") are shared
+// by cssim and csfarm; parsing them here keeps the two CLIs' policy
+// vocabularies from drifting apart.
+type PolicySpec struct {
+	// Name is the canonical spec string (e.g. "fixed:25").
+	Name string
+	// Factory builds a fresh policy instance per episode/worker.
+	Factory func() Policy
+	// Plan is the guideline plan when Name is "guideline", else nil;
+	// callers use it for the analytic E(S; p) comparison.
+	Plan *core.Plan
+}
+
+// ParsePolicy resolves a policy spec against a life function and
+// overhead. Accepted specs:
+//
+//	guideline       — plan with core.PlanBest on l and play the schedule
+//	progressive     — replan adaptively as the episode survives
+//	                  (ScanPoints 16: cheaper than a one-shot plan,
+//	                  since it replans repeatedly)
+//	fixed:<chunk>   — constant period length <chunk>
+//	allatonce       — one huge period (the naive baseline)
+//
+// The progressive factory falls back to fixed chunks of 10·c when
+// progressive planning is infeasible for l.
+func ParsePolicy(spec string, l lifefn.Life, c float64, opt core.PlanOptions) (PolicySpec, error) {
+	spec = strings.TrimSpace(spec)
+	switch {
+	case spec == "guideline":
+		pl, err := core.NewPlanner(l, c, opt)
+		if err != nil {
+			return PolicySpec{}, err
+		}
+		plan, err := pl.PlanBest()
+		if err != nil {
+			return PolicySpec{}, fmt.Errorf("nowsim: planning for %s: %w", l, err)
+		}
+		return PolicySpec{
+			Name: spec,
+			Factory: func() Policy {
+				return NewSchedulePolicy(plan.Schedule, "guideline")
+			},
+			Plan: &plan,
+		}, nil
+	case spec == "progressive":
+		popt := opt
+		if popt.ScanPoints <= 0 {
+			popt.ScanPoints = 16
+		}
+		return PolicySpec{
+			Name: spec,
+			Factory: func() Policy {
+				p, err := NewProgressivePolicy(l, c, popt)
+				if err != nil {
+					return &FixedChunkPolicy{Chunk: 10 * c}
+				}
+				return p
+			},
+		}, nil
+	case strings.HasPrefix(spec, "fixed:"):
+		chunk, err := strconv.ParseFloat(strings.TrimPrefix(spec, "fixed:"), 64)
+		if err != nil || !(chunk > 0) || math.IsInf(chunk, 0) {
+			return PolicySpec{}, fmt.Errorf("nowsim: bad fixed chunk in %q", spec)
+		}
+		return PolicySpec{
+			Name:    spec,
+			Factory: func() Policy { return &FixedChunkPolicy{Chunk: chunk} },
+		}, nil
+	case spec == "allatonce":
+		return PolicySpec{
+			Name:    spec,
+			Factory: func() Policy { return &FixedChunkPolicy{Chunk: 1e6} },
+		}, nil
+	default:
+		return PolicySpec{}, fmt.Errorf("nowsim: unknown policy %q (want guideline, progressive, fixed:<chunk>, or allatonce)", spec)
+	}
+}
+
+// ParseDist resolves a task-duration distribution name for workload
+// construction.
+func ParseDist(name string) (DurationDist, error) {
+	switch name {
+	case "uniform":
+		return DistUniform, nil
+	case "lognormal":
+		return DistLogNormal, nil
+	case "bimodal":
+		return DistBimodal, nil
+	case "pareto":
+		return DistParetoCapped, nil
+	default:
+		return 0, fmt.Errorf("nowsim: unknown distribution %q (want uniform, lognormal, bimodal, or pareto)", name)
+	}
+}
+
+// BuildLife resolves a life-function name with the standard CLI
+// parameterization: lifespan for the bounded families, halfLife for
+// geometric decay, d for the polynomial exponent.
+func BuildLife(name string, lifespan, halfLife float64, d int) (lifefn.Life, error) {
+	switch name {
+	case "uniform":
+		return lifefn.NewUniform(lifespan)
+	case "poly":
+		return lifefn.NewPoly(d, lifespan)
+	case "geomdec":
+		if !(halfLife > 0) {
+			return nil, fmt.Errorf("nowsim: half-life must be positive, got %g", halfLife)
+		}
+		return lifefn.NewGeomDecreasing(math.Pow(2, 1/halfLife))
+	case "geominc":
+		return lifefn.NewGeomIncreasing(lifespan)
+	default:
+		return nil, fmt.Errorf("nowsim: unknown life function %q (want uniform, poly, geomdec, or geominc)", name)
+	}
+}

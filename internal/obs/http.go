@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry in Prometheus text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// PublishExpvar publishes the registry under the given expvar name, so
+// /debug/vars includes a live JSON snapshot of every metric. Counters
+// render as integers, gauges as floats, histograms as
+// {count, sum, buckets}. Publishing the same name twice is a no-op
+// (expvar forbids re-publication); the first registry wins.
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() interface{} {
+		out := make(map[string]interface{})
+		for _, e := range r.snapshot() {
+			switch e.kind {
+			case kindCounter:
+				out[e.name] = e.c.Value()
+			case kindGauge:
+				out[e.name] = e.g.Value()
+			case kindHistogram:
+				buckets := make(map[string]uint64, len(e.h.counts))
+				cum := uint64(0)
+				for i := range e.h.counts {
+					cum += e.h.counts[i].Load()
+					le := "+Inf"
+					if i < len(e.h.upper) {
+						le = formatFloat(e.h.upper[i])
+					}
+					buckets[le] = cum
+				}
+				out[e.name] = map[string]interface{}{
+					"count":   e.h.Count(),
+					"sum":     e.h.Sum(),
+					"buckets": buckets,
+				}
+			}
+		}
+		return out
+	}))
+}
+
+// NewMux builds an http.ServeMux exposing /metrics (Prometheus text,
+// when reg is non-nil), /debug/vars (expvar) and the /debug/pprof
+// endpoints — explicitly wired rather than via the pprof package's
+// DefaultServeMux side effects, so importing obs never mutates global
+// HTTP state.
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running metrics/pprof HTTP server.
+type Server struct {
+	srv *http.Server
+	lis net.Listener
+}
+
+// Serve starts an HTTP server on addr (e.g. "localhost:9090" or
+// ":0" for an ephemeral port) exposing reg via NewMux. It returns once
+// the listener is bound; serving continues in a background goroutine
+// until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	if reg != nil {
+		reg.PublishExpvar("metrics")
+	}
+	srv := &http.Server{Handler: NewMux(reg)}
+	go func() { _ = srv.Serve(lis) }()
+	return &Server{srv: srv, lis: lis}, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeMetricsVarsPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("cs_http_test_total", "served requests").Add(3)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "cs_http_test_total 3") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	code, body = get(t, base+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	if !strings.Contains(body, "cs_http_test_total") {
+		t.Errorf("/debug/vars missing published registry:\n%s", body)
+	}
+
+	code, _ = get(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+func TestCLIFlagsSetup(t *testing.T) {
+	dir := t.TempDir()
+	f := Flags{Trace: dir + "/run.jsonl", TraceFormat: "jsonl"}
+	s, err := f.Setup(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Sink == nil {
+		t.Fatal("no sink opened")
+	}
+	s.Sink.Emit(Event{Time: 1, Kind: "dispatch", Length: 2})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f = Flags{Trace: dir + "/run.json", TraceFormat: "nope"}
+	if _, err := f.Setup(nil); err == nil {
+		t.Error("bad trace format did not error")
+	}
+
+	var zero Flags
+	s, err = zero.Setup(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Sink != nil || s.Server != nil {
+		t.Error("zero flags opened resources")
+	}
+	if err := s.Close(); err != nil {
+		t.Error(err)
+	}
+}

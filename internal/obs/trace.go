@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Event is one structured trace record. The schema is deliberately
+// flat and simulator-agnostic: Time is simulation time, Worker tags the
+// emitting workstation (0 for single-workstation runs), Kind is a short
+// verb ("dispatch", "commit", "kill", "steal", ...), and the remaining
+// fields qualify it where meaningful (zero otherwise).
+type Event struct {
+	Time   float64
+	Worker int
+	Kind   string
+	Period int
+	Length float64
+	Tasks  int
+}
+
+// Sink consumes trace events. Implementations need not be
+// goroutine-safe: the simulators emit from a single goroutine (parallel
+// Monte-Carlo buffers per block and replays in deterministic order).
+//
+// Sink fields on simulator configs are nil-safe: a nil Sink disables
+// tracing entirely, and the emission sites guard with a single nil
+// check so the disabled cost is one predictable branch.
+type Sink interface {
+	Emit(Event)
+}
+
+// BufferSink collects events in memory — for tests and for the
+// deterministic replay of parallel runs.
+type BufferSink struct {
+	Events []Event
+}
+
+// Emit implements Sink.
+func (b *BufferSink) Emit(e Event) { b.Events = append(b.Events, e) }
+
+// MultiSink fans one event stream out to several sinks.
+type MultiSink []Sink
+
+// Emit implements Sink.
+func (m MultiSink) Emit(e Event) {
+	for _, s := range m {
+		if s != nil {
+			s.Emit(e)
+		}
+	}
+}
+
+// trimFloat formats a float with the shortest round-trip decimal
+// representation — deterministic across runs and platforms.
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// JSONLSink writes one JSON object per event, one per line. Field
+// order and float formatting are fixed, so identical event streams
+// produce byte-identical files — the property the determinism
+// regression tests assert.
+type JSONLSink struct {
+	w   *bufio.Writer
+	buf []byte
+	err error
+}
+
+// NewJSONLSink wraps w in a buffered JSONL exporter. Call Close (or at
+// least Flush via Close) before reading the output.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(e Event) {
+	if s == nil || s.err != nil {
+		return
+	}
+	b := s.buf[:0]
+	b = append(b, `{"t":`...)
+	b = strconv.AppendFloat(b, e.Time, 'g', -1, 64)
+	b = append(b, `,"w":`...)
+	b = strconv.AppendInt(b, int64(e.Worker), 10)
+	b = append(b, `,"kind":`...)
+	b = strconv.AppendQuote(b, e.Kind)
+	b = append(b, `,"period":`...)
+	b = strconv.AppendInt(b, int64(e.Period), 10)
+	b = append(b, `,"len":`...)
+	b = strconv.AppendFloat(b, e.Length, 'g', -1, 64)
+	b = append(b, `,"tasks":`...)
+	b = strconv.AppendInt(b, int64(e.Tasks), 10)
+	b = append(b, '}', '\n')
+	s.buf = b
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+	}
+}
+
+// Close flushes the writer and returns the first error seen.
+func (s *JSONLSink) Close() error {
+	if s == nil {
+		return nil
+	}
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// chromeTsScale maps one simulation time unit to Chrome's microsecond
+// timestamps: 1 sim unit = 1000 µs = 1 ms, matching displayTimeUnit.
+const chromeTsScale = 1000
+
+// ChromeSink exports events in the Chrome trace_event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// load the output in chrome://tracing or https://ui.perfetto.dev to see
+// each worker as a timeline row, dispatched periods as slices (cat
+// "commit" or "kill" by outcome), and voluntary-end/steal markers as
+// instants. Dispatch events open a slice keyed by (worker, period);
+// the matching commit or kill closes it.
+type ChromeSink struct {
+	w       *bufio.Writer
+	buf     []byte
+	err     error
+	started bool
+	n       int
+	open    map[int64]chromeSpan
+	named   map[int]bool
+}
+
+type chromeSpan struct {
+	start  float64
+	length float64
+}
+
+// NewChromeSink wraps w in a trace_event exporter. Close writes the
+// JSON trailer; an unclosed file is not valid JSON.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	return &ChromeSink{
+		w:     bufio.NewWriterSize(w, 1<<16),
+		open:  make(map[int64]chromeSpan),
+		named: make(map[int]bool),
+	}
+}
+
+func (s *ChromeSink) writeRaw(b []byte) {
+	if s.err != nil {
+		return
+	}
+	if !s.started {
+		if _, err := s.w.WriteString(`{"displayTimeUnit":"ms","traceEvents":[` + "\n"); err != nil {
+			s.err = err
+			return
+		}
+		s.started = true
+	}
+	if s.n > 0 {
+		if _, err := s.w.WriteString(",\n"); err != nil {
+			s.err = err
+			return
+		}
+	}
+	s.n++
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+	}
+}
+
+func (s *ChromeSink) ensureThread(worker int) {
+	if s.named[worker] {
+		return
+	}
+	s.named[worker] = true
+	name := fmt.Sprintf("worker %d", worker)
+	b := s.buf[:0]
+	b = append(b, `{"name":"thread_name","ph":"M","pid":0,"tid":`...)
+	b = strconv.AppendInt(b, int64(worker), 10)
+	b = append(b, `,"args":{"name":`...)
+	b = strconv.AppendQuote(b, name)
+	b = append(b, `}}`...)
+	s.buf = b
+	s.writeRaw(b)
+}
+
+// Emit implements Sink.
+func (s *ChromeSink) Emit(e Event) {
+	if s == nil || s.err != nil {
+		return
+	}
+	s.ensureThread(e.Worker)
+	key := int64(e.Worker)<<32 | int64(uint32(e.Period))
+	switch e.Kind {
+	case "dispatch":
+		s.open[key] = chromeSpan{start: e.Time, length: e.Length}
+	case "commit", "kill":
+		sp, ok := s.open[key]
+		if !ok {
+			// Tolerate streams without dispatch events: synthesize the
+			// span from the reported length.
+			sp = chromeSpan{start: e.Time - e.Length, length: e.Length}
+		}
+		delete(s.open, key)
+		dur := (e.Time - sp.start) * chromeTsScale
+		if dur < 0 {
+			dur = 0
+		}
+		b := s.buf[:0]
+		b = append(b, `{"name":`...)
+		b = strconv.AppendQuote(b, "p"+strconv.Itoa(e.Period))
+		b = append(b, `,"cat":`...)
+		b = strconv.AppendQuote(b, e.Kind)
+		b = append(b, `,"ph":"X","ts":`...)
+		b = strconv.AppendFloat(b, sp.start*chromeTsScale, 'g', -1, 64)
+		b = append(b, `,"dur":`...)
+		b = strconv.AppendFloat(b, dur, 'g', -1, 64)
+		b = append(b, `,"pid":0,"tid":`...)
+		b = strconv.AppendInt(b, int64(e.Worker), 10)
+		b = append(b, `,"args":{"period":`...)
+		b = strconv.AppendInt(b, int64(e.Period), 10)
+		b = append(b, `,"len":`...)
+		b = strconv.AppendFloat(b, e.Length, 'g', -1, 64)
+		b = append(b, `,"tasks":`...)
+		b = strconv.AppendInt(b, int64(e.Tasks), 10)
+		b = append(b, `}}`...)
+		s.buf = b
+		s.writeRaw(b)
+	default:
+		b := s.buf[:0]
+		b = append(b, `{"name":`...)
+		b = strconv.AppendQuote(b, e.Kind)
+		b = append(b, `,"ph":"i","s":"t","ts":`...)
+		b = strconv.AppendFloat(b, e.Time*chromeTsScale, 'g', -1, 64)
+		b = append(b, `,"pid":0,"tid":`...)
+		b = strconv.AppendInt(b, int64(e.Worker), 10)
+		b = append(b, `,"args":{"tasks":`...)
+		b = strconv.AppendInt(b, int64(e.Tasks), 10)
+		b = append(b, `}}`...)
+		s.buf = b
+		s.writeRaw(b)
+	}
+}
+
+// Close writes the JSON trailer and flushes. Periods still open (a
+// dispatch whose outcome never arrived, e.g. a run cut off at MaxTime)
+// are dropped: trace viewers reject dangling begin events, and a
+// truncated run is exactly when that happens.
+func (s *ChromeSink) Close() error {
+	if s == nil {
+		return nil
+	}
+	if s.err == nil && !s.started {
+		// No events: still produce a valid, empty trace.
+		if _, err := s.w.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+			s.err = err
+		}
+		s.started = true
+	}
+	if s.err == nil {
+		if _, err := s.w.WriteString("\n]}\n"); err != nil {
+			s.err = err
+		}
+	}
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
