@@ -2,8 +2,9 @@
 # `make bench-obs` snapshots the observability overhead claim.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fmt-check ci bench bench-obs
+.PHONY: all build test race vet lint fmt-check ci bench bench-obs fuzz-smoke
 
 all: build
 
@@ -19,13 +20,27 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Build the repo's own analyzer suite and run it over the whole tree.
+# Any finding (see DESIGN.md section 7) fails the build; intentional
+# violations carry //lint:allow <analyzer> <reason> annotations.
+lint:
+	$(GO) build -o bin/cslint ./cmd/cslint
+	./bin/cslint ./...
+
 fmt-check:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check vet build race
+ci: fmt-check vet lint build race
+
+# Short fuzz sessions over the CLI-facing parsers: no panics, and
+# accepted inputs must round-trip through their canonical names.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParsePolicy$$' -fuzztime $(FUZZTIME) ./internal/nowsim
+	$(GO) test -run '^$$' -fuzz '^FuzzParseDist$$' -fuzztime $(FUZZTIME) ./internal/nowsim
+	$(GO) test -run '^$$' -fuzz '^FuzzBuildLife$$' -fuzztime $(FUZZTIME) ./internal/nowsim
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,24 @@
+// Command cslint runs the repository's analyzer suite (see
+// internal/analysis/suite). It works both standalone:
+//
+//	cslint ./...
+//
+// and as a vet tool, which type-checks against the build cache's export
+// data instead of re-loading source:
+//
+//	go vet -vettool=$(pwd)/bin/cslint ./...
+//
+// Exit codes follow the repo CLI convention: 0 clean, 1 findings,
+// 2 usage errors.
+package main
+
+import (
+	"os"
+
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(driver.Main(os.Args, os.Stdout, os.Stderr, suite.All))
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/suite"
+)
+
+// runLint invokes the driver in-process from dir, returning exit code,
+// stdout and stderr.
+func runLint(t *testing.T, dir string, args ...string) (int, string, string) {
+	t.Helper()
+	if dir != "" {
+		old, err := os.Getwd()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chdir(dir); err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			if err := os.Chdir(old); err != nil {
+				t.Fatal(err)
+			}
+		}()
+	}
+	var stdout, stderr bytes.Buffer
+	code := driver.Main(append([]string{"cslint"}, args...), &stdout, &stderr, suite.All)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestStandaloneDirty(t *testing.T) {
+	code, out, _ := runLint(t, filepath.Join("testdata", "dirty"), "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	for _, want := range []string{"[floatcmp]", "[printlint]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %s finding:\n%s", want, out)
+		}
+	}
+}
+
+func TestStandaloneClean(t *testing.T) {
+	code, out, errout := runLint(t, filepath.Join("testdata", "clean"), "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, out, errout)
+	}
+	if out != "" {
+		t.Errorf("clean package produced output: %s", out)
+	}
+}
+
+func TestAnalyzerToggle(t *testing.T) {
+	// Disabling both triggered analyzers must turn the dirty fixture clean.
+	code, out, _ := runLint(t, filepath.Join("testdata", "dirty"),
+		"-floatcmp=false", "-printlint=false", "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 with analyzers disabled\n%s", code, out)
+	}
+}
+
+func TestVersionProbe(t *testing.T) {
+	// cmd/go probes -V=full and requires `<name> version <ver>`; for a
+	// devel version the last field must carry a build ID.
+	code, out, _ := runLint(t, "", "-V=full")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	fields := strings.Fields(out)
+	if len(fields) < 3 || fields[1] != "version" {
+		t.Fatalf("-V=full output %q does not satisfy the go vet protocol", out)
+	}
+	if fields[2] == "devel" && !strings.HasPrefix(fields[len(fields)-1], "buildID=") {
+		t.Fatalf("devel version without buildID: %q", out)
+	}
+}
+
+func TestFlagsProbe(t *testing.T) {
+	code, out, _ := runLint(t, "", "-flags")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	var flags []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal([]byte(out), &flags); err != nil {
+		t.Fatalf("-flags output is not the JSON cmd/go expects: %v\n%s", err, out)
+	}
+	if len(flags) != len(suite.All) {
+		t.Fatalf("-flags advertised %d analyzers, want %d", len(flags), len(suite.All))
+	}
+}
+
+func TestUsageError(t *testing.T) {
+	code, _, _ := runLint(t, "", "-no-such-flag")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 for a bad flag", code)
+	}
+}
+
+// TestVettool runs the built binary through the real go vet -vettool
+// protocol against both fixtures.
+func TestVettool(t *testing.T) {
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go not in PATH: %v", err)
+	}
+	tool := filepath.Join(t.TempDir(), "cslint-under-test")
+	build := exec.Command(goTool, "build", "-o", tool, "repro/cmd/cslint")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building cslint: %v\n%s", err, out)
+	}
+
+	vet := func(dir string) (int, string) {
+		cmd := exec.Command(goTool, "vet", "-vettool="+tool, "./...")
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			return 0, string(out)
+		}
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode(), string(out)
+		}
+		t.Fatalf("go vet: %v\n%s", err, out)
+		return -1, ""
+	}
+
+	if code, out := vet(filepath.Join("testdata", "dirty")); code == 0 {
+		t.Errorf("go vet -vettool on dirty fixture exited 0\n%s", out)
+	} else if !strings.Contains(out, "[floatcmp]") {
+		t.Errorf("go vet -vettool output missing floatcmp finding:\n%s", out)
+	}
+	if code, out := vet(filepath.Join("testdata", "clean")); code != 0 {
+		t.Errorf("go vet -vettool on clean fixture exited %d\n%s", code, out)
+	}
+}

@@ -8,11 +8,14 @@
 //	cssim -life geomdec -halflife 32 -c 1 -policy fixed -chunk 10
 //	cssim -life geominc -L 64 -c 1 -policy progressive
 //	cssim -episodes 2000 -trace episodes.jsonl      # structured trace
+//
+// Exit status: 0 on success, 1 on runtime failures, 2 on usage errors.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
@@ -22,24 +25,34 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cssim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		lifeName = flag.String("life", "uniform", "life function: uniform, poly, geomdec, geominc")
-		lifespan = flag.Float64("L", 1000, "potential lifespan")
-		halfLife = flag.Float64("halflife", 32, "half-life (geomdec)")
-		d        = flag.Int("d", 2, "exponent (poly)")
-		c        = flag.Float64("c", 1, "per-period communication overhead")
-		policy   = flag.String("policy", "guideline", "policy: guideline, fixed, progressive, allatonce")
-		chunk    = flag.Float64("chunk", 10, "chunk size (fixed policy)")
-		episodes = flag.Int("episodes", 100000, "number of Monte-Carlo episodes")
-		seed     = flag.Uint64("seed", 1, "RNG seed")
+		lifeName = fs.String("life", "uniform", "life function: uniform, poly, geomdec, geominc")
+		lifespan = fs.Float64("L", 1000, "potential lifespan")
+		halfLife = fs.Float64("halflife", 32, "half-life (geomdec)")
+		d        = fs.Int("d", 2, "exponent (poly)")
+		c        = fs.Float64("c", 1, "per-period communication overhead")
+		policy   = fs.String("policy", "guideline", "policy: guideline, fixed, progressive, allatonce")
+		chunk    = fs.Float64("chunk", 10, "chunk size (fixed policy)")
+		episodes = fs.Int("episodes", 100000, "number of Monte-Carlo episodes")
+		seed     = fs.Uint64("seed", 1, "RNG seed")
 	)
 	var obsFlags obs.Flags
-	obsFlags.Register(nil)
-	flag.Parse()
+	obsFlags.Register(fs)
+	if err := fs.Parse(argv); err != nil {
+		// Parse already printed the error and usage to stderr.
+		return 2
+	}
 
 	life, err := nowsim.BuildLife(*lifeName, *lifespan, *halfLife, *d)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "cssim:", err)
+		return 2
 	}
 
 	// The historical -policy fixed + -chunk pair maps onto the shared
@@ -50,7 +63,8 @@ func main() {
 	}
 	spec, err := nowsim.ParsePolicy(polSpec, life, *c, core.PlanOptions{})
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "cssim:", err)
+		return 2
 	}
 	analytic := math.NaN()
 	if spec.Plan != nil {
@@ -60,36 +74,34 @@ func main() {
 	reg := obs.NewRegistry()
 	session, err := obsFlags.Setup(reg)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "cssim:", err)
+		return 2
 	}
 	defer session.Close()
 	o := nowsim.Obs{Sink: session.Sink}
 	if session.Server != nil {
 		o.Metrics = reg
-		fmt.Fprintf(os.Stderr, "cssim: serving metrics on %s\n", session.Server.Addr())
+		fmt.Fprintf(stderr, "cssim: serving metrics on %s\n", session.Server.Addr())
 	}
 
 	pol := spec.Factory()
 	res := nowsim.MonteCarloObs(pol, nowsim.LifeOwner{Life: life}, *c, *episodes, *seed, o)
 	if err := session.Close(); err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "cssim:", err)
+		return 1
 	}
-	fmt.Printf("scenario      : %s, c=%g, policy=%s, %d episodes (seed %d)\n",
+	fmt.Fprintf(stdout, "scenario      : %s, c=%g, policy=%s, %d episodes (seed %d)\n",
 		life, *c, pol, *episodes, *seed)
-	fmt.Printf("work          : %s\n", res.Work)
-	fmt.Printf("lost          : %s\n", res.Lost)
-	fmt.Printf("periods/eps   : %s\n", res.Periods)
-	fmt.Printf("reclaimed     : %d/%d episodes\n", res.Reclaimed, res.Episodes)
+	fmt.Fprintf(stdout, "work          : %s\n", res.Work)
+	fmt.Fprintf(stdout, "lost          : %s\n", res.Lost)
+	fmt.Fprintf(stdout, "periods/eps   : %s\n", res.Periods)
+	fmt.Fprintf(stdout, "reclaimed     : %d/%d episodes\n", res.Reclaimed, res.Episodes)
 	if !math.IsNaN(analytic) {
 		z := 0.0
 		if res.Work.StdErr > 0 {
 			z = math.Abs(res.Work.Mean-analytic) / res.Work.StdErr
 		}
-		fmt.Printf("analytic E    : %.6g (z = %.2f)\n", analytic, z)
+		fmt.Fprintf(stdout, "analytic E    : %.6g (z = %.2f)\n", analytic, z)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cssim:", err)
-	os.Exit(1)
+	return 0
 }

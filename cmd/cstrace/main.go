@@ -9,11 +9,15 @@
 //	cstrace -truth uniform -L 200 -sessions 1000 -c 1
 //	cstrace -truth geomdec -halflife 32 -sessions 500 -censor 60
 //	cstrace -trace plans.json -trace-format chrome   # schedule timeline
+//
+// Exit status: 0 on success, 1 on runtime failures (fit or planning),
+// 2 on usage errors.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
@@ -26,36 +30,47 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cstrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		truthName = flag.String("truth", "uniform", "ground-truth life function: uniform, poly, geomdec, geominc")
-		lifespan  = flag.Float64("L", 200, "potential lifespan")
-		halfLife  = flag.Float64("halflife", 32, "half-life (geomdec)")
-		d         = flag.Int("d", 2, "exponent (poly)")
-		sessions  = flag.Int("sessions", 1000, "number of absence observations")
-		censor    = flag.Float64("censor", 0, "right-censor observations at this duration (0 = none)")
-		knots     = flag.Int("knots", 32, "smoothing knots")
-		c         = flag.Float64("c", 1, "per-period communication overhead")
-		seed      = flag.Uint64("seed", 1, "RNG seed")
+		truthName = fs.String("truth", "uniform", "ground-truth life function: uniform, poly, geomdec, geominc")
+		lifespan  = fs.Float64("L", 200, "potential lifespan")
+		halfLife  = fs.Float64("halflife", 32, "half-life (geomdec)")
+		d         = fs.Int("d", 2, "exponent (poly)")
+		sessions  = fs.Int("sessions", 1000, "number of absence observations")
+		censor    = fs.Float64("censor", 0, "right-censor observations at this duration (0 = none)")
+		knots     = fs.Int("knots", 32, "smoothing knots")
+		c         = fs.Float64("c", 1, "per-period communication overhead")
+		seed      = fs.Uint64("seed", 1, "RNG seed")
 	)
 	var obsFlags obs.Flags
-	obsFlags.Register(nil)
-	flag.Parse()
+	obsFlags.Register(fs)
+	if err := fs.Parse(argv); err != nil {
+		// Parse already printed the error and usage to stderr.
+		return 2
+	}
 
 	truth, err := nowsim.BuildLife(*truthName, *lifespan, *halfLife, *d)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "cstrace:", err)
+		return 2
 	}
 
 	reg := obs.NewRegistry()
 	session, err := obsFlags.Setup(reg)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "cstrace:", err)
+		return 2
 	}
 	defer session.Close()
 	var metrics *obs.Registry
 	if session.Server != nil {
 		metrics = reg
-		fmt.Fprintf(os.Stderr, "cstrace: serving metrics on %s\n", session.Server.Addr())
+		fmt.Fprintf(stderr, "cstrace: serving metrics on %s\n", session.Server.Addr())
 	}
 
 	absences := trace.SampleAbsences(truth, *sessions, rng.New(*seed))
@@ -64,23 +79,26 @@ func main() {
 	}
 	fit, err := trace.FitLife(absences, trace.FitOptions{Knots: *knots})
 	if err != nil {
-		fatal(fmt.Errorf("fit failed: %w", err))
+		fmt.Fprintln(stderr, "cstrace:", fmt.Errorf("fit failed: %w", err))
+		return 1
 	}
 
 	span := trace.EffectiveSpan(truth)
 	ks := trace.KSDistance(fit, truth, span, 400)
-	fmt.Printf("truth          : %s\n", truth)
-	fmt.Printf("trace          : %d sessions (censor %g, knots %d, seed %d)\n", *sessions, *censor, *knots, *seed)
-	fmt.Printf("fitted         : %s (shape %s, horizon %g)\n", fit, fit.Shape(), fit.Horizon())
-	fmt.Printf("KS distance    : %.4f\n", ks)
+	fmt.Fprintf(stdout, "truth          : %s\n", truth)
+	fmt.Fprintf(stdout, "trace          : %d sessions (censor %g, knots %d, seed %d)\n", *sessions, *censor, *knots, *seed)
+	fmt.Fprintf(stdout, "fitted         : %s (shape %s, horizon %g)\n", fit, fit.Shape(), fit.Horizon())
+	fmt.Fprintf(stdout, "KS distance    : %.4f\n", ks)
 
 	truthPlan, err := plan(truth, *c, metrics)
 	if err != nil {
-		fatal(fmt.Errorf("planning on truth: %w", err))
+		fmt.Fprintln(stderr, "cstrace:", fmt.Errorf("planning on truth: %w", err))
+		return 1
 	}
 	fitPlan, err := plan(fit, *c, metrics)
 	if err != nil {
-		fatal(fmt.Errorf("planning on fit: %w", err))
+		fmt.Fprintln(stderr, "cstrace:", fmt.Errorf("planning on fit: %w", err))
+		return 1
 	}
 	if session.Sink != nil {
 		// Render the two schedules as timelines: the truth plan traces as
@@ -91,11 +109,13 @@ func main() {
 	}
 	eUnderTruth := sched.ExpectedWork(fitPlan.Schedule, truth, *c)
 	if err := session.Close(); err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "cstrace:", err)
+		return 1
 	}
-	fmt.Printf("plan on truth  : t0 %.5g, m %d, E %.6g\n", truthPlan.T0, truthPlan.Schedule.Len(), truthPlan.ExpectedWork)
-	fmt.Printf("plan on fit    : t0 %.5g, m %d, E-under-truth %.6g\n", fitPlan.T0, fitPlan.Schedule.Len(), eUnderTruth)
-	fmt.Printf("regret         : %.3f%%\n", 100*(1-eUnderTruth/truthPlan.ExpectedWork))
+	fmt.Fprintf(stdout, "plan on truth  : t0 %.5g, m %d, E %.6g\n", truthPlan.T0, truthPlan.Schedule.Len(), truthPlan.ExpectedWork)
+	fmt.Fprintf(stdout, "plan on fit    : t0 %.5g, m %d, E-under-truth %.6g\n", fitPlan.T0, fitPlan.Schedule.Len(), eUnderTruth)
+	fmt.Fprintf(stdout, "regret         : %.3f%%\n", 100*(1-eUnderTruth/truthPlan.ExpectedWork))
+	return 0
 }
 
 func plan(l lifefn.Life, c float64, metrics *obs.Registry) (core.Plan, error) {
@@ -116,9 +136,4 @@ func emitPlan(sink obs.Sink, worker int, p core.Plan) {
 		now += t
 		sink.Emit(obs.Event{Time: now, Worker: worker, Kind: nowsim.EventCommit.String(), Period: i, Length: t})
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cstrace:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,34 @@
+package nowsim
+
+import (
+	"math/rand" // want "import of math/rand in a simulator package"
+	"time"
+)
+
+func clock() time.Duration {
+	start := time.Now()      // want "time.Now reads the wall clock"
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func draw() int { return rand.Intn(6) }
+
+func emitAll(m map[int]string, emit func(string)) {
+	for _, v := range m { // want "range over a map has nondeterministic order"
+		emit(v)
+	}
+}
+
+func overSlice(xs []int, emit func(int)) {
+	for _, v := range xs { // slices iterate in order: non-finding
+		emit(v)
+	}
+}
+
+func commutative(m map[string]int) int {
+	n := 0
+	//lint:allow determinism pure count, order-insensitive
+	for range m {
+		n++
+	}
+	return n
+}

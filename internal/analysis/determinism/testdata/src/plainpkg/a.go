@@ -1,0 +1,15 @@
+// Package plainpkg is not a simulator package, so wall clocks and map
+// iteration are fine here: every determinism check is a non-finding.
+package plainpkg
+
+import "time"
+
+func clock() time.Time { return time.Now() }
+
+func keys(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,140 @@
+// Package driver is the command-line front end shared by cmd/cslint.
+// One binary serves two callers:
+//
+//   - Standalone: `cslint ./...` loads packages from source with the
+//     in-repo loader, prints findings to stdout and exits 1 if any.
+//   - Vet tool: `go vet -vettool=cslint ./...` — cmd/go probes the tool
+//     with -V=full and -flags, then invokes it once per package with a
+//     JSON config file (handled by internal/analysis/unit).
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/unit"
+)
+
+// Main runs the cslint driver and returns the process exit code:
+// 0 clean, 1 findings (or type errors), 2 usage/protocol errors.
+func Main(argv []string, stdout, stderr io.Writer, analyzers []*analysis.Analyzer) int {
+	prog := "cslint"
+	if len(argv) > 0 {
+		prog = argv[0]
+		argv = argv[1:]
+	}
+
+	fs := flag.NewFlagSet(prog, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	version := fs.String("V", "", "print version and exit (go vet protocol)")
+	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON (go vet protocol)")
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+doc)
+	}
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: %s [flags] [packages]\n", prog)
+		fmt.Fprintf(stderr, "       %s [flags] <vet.cfg>   (go vet -vettool mode)\n\n", prog)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	if *version != "" {
+		// cmd/go requires `<name> version <ver>`, and for a "devel"
+		// version the last field must carry a buildID. Hash our own
+		// executable so the cache key changes whenever the tool does.
+		if *version != "full" {
+			fmt.Fprintf(stderr, "%s: unsupported -V value %q\n", prog, *version)
+			return 2
+		}
+		id := "unknown"
+		if exe, err := os.Executable(); err == nil {
+			if data, err := os.ReadFile(exe); err == nil {
+				id = fmt.Sprintf("%x", sha256.Sum256(data))
+			}
+		}
+		fmt.Fprintf(stdout, "%s version devel buildID=%s\n", prog, id)
+		return 0
+	}
+	if *printFlags {
+		// Advertise the per-analyzer toggles so `go vet -<name>=false`
+		// works through the vettool.
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		var out []jsonFlag
+		for _, a := range analyzers {
+			out = append(out, jsonFlag{Name: a.Name, Bool: true, Usage: "enable " + a.Name})
+		}
+		data, err := json.Marshal(out)
+		if err != nil {
+			fmt.Fprintln(stderr, prog+":", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, string(data))
+		return 0
+	}
+
+	var active []*analysis.Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	args := fs.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return unit.Run(args[0], active, stderr)
+	}
+	return runStandalone(args, active, stdout, stderr)
+}
+
+// runStandalone loads the named packages (default ./...) from source
+// and prints findings to stdout.
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer, stdout, stderr io.Writer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "cslint:", err)
+		return 2
+	}
+	cfg := load.Config{Dir: dir, Tests: true}
+	pkgs, err := cfg.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "cslint:", err)
+		return 1
+	}
+	found := false
+	for _, pkg := range pkgs {
+		findings, err := analysis.RunAnalyzers(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, analyzers)
+		if err != nil {
+			fmt.Fprintln(stderr, "cslint:", err)
+			return 2
+		}
+		for _, f := range findings {
+			found = true
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if found {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,91 @@
+// Package errsink flags dropped errors on the observability output
+// path. A trace whose final buffer never flushed, or a metrics server
+// that failed to close, invalidates the experiment that produced it —
+// silently, because the write error went to the void.
+//
+// Two rules, both applied only to plain call statements (a deferred
+// Close is an accepted belt-and-braces backstop, and assigning to _ is
+// an explicit, reviewable acknowledgment):
+//   - everywhere: a call statement that discards an error returned by a
+//     function or method defined in a package named obs (sink Close,
+//     Session.Close, Server.Close, ...);
+//   - inside packages named obs: a call statement that discards an
+//     error from any Close, Flush, Write or Sync method — the sink
+//     implementations may not swallow the underlying writer's errors.
+package errsink
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errsink",
+	Doc:  "flag dropped errors from observability sink writes and closes",
+	Run:  run,
+}
+
+var writerMethods = map[string]bool{
+	"Close": true,
+	"Flush": true,
+	"Write": true,
+	"Sync":  true,
+}
+
+func run(pass *analysis.Pass) error {
+	inObs := analysis.PkgBase(pass.Pkg.Path()) == "obs"
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || !returnsError(fn) {
+				return true
+			}
+			fromObs := fn.Pkg() != nil && analysis.PkgBase(fn.Pkg().Path()) == "obs"
+			if fromObs || (inObs && writerMethods[fn.Name()]) {
+				pass.Reportf(call.Pos(), "error from %s is dropped; check it or assign to _ explicitly", fn.FullName())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeFunc resolves the called function or method, if statically
+// known.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// returnsError reports whether fn's last result is error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}

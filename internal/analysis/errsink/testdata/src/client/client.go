@@ -1,0 +1,14 @@
+// Package client consumes obs types from outside: dropping their
+// errors is a finding everywhere, not just inside obs.
+package client
+
+import "obs"
+
+func use(s *obs.FileSink) error {
+	s.Close() // want `error from \(\*obs.FileSink\).Close is dropped`
+	if err := s.Close(); err != nil {
+		return err // checked: non-finding
+	}
+	defer s.Close() // deferred backstop: non-finding
+	return nil
+}

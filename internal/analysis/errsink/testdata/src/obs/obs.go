@@ -1,0 +1,26 @@
+// Package obs mimics the sink implementation package: inside it, any
+// dropped Close/Flush/Write/Sync error is a finding.
+package obs
+
+import "os"
+
+type FileSink struct{ f *os.File }
+
+func (s *FileSink) Close() error { return s.f.Close() }
+
+func (s *FileSink) note() {}
+
+func (s *FileSink) drop() {
+	s.f.Close()     // want `error from \(\*os.File\).Close is dropped`
+	_ = s.f.Close() // explicit discard: non-finding
+	s.note()        // returns no error: non-finding
+}
+
+func (s *FileSink) backstop() {
+	defer s.f.Close() // deferred backstop: non-finding
+}
+
+func (s *FileSink) acknowledged() {
+	//lint:allow errsink close error surfaced by the later explicit Close
+	s.f.Close()
+}

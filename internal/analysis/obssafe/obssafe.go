@@ -1,0 +1,62 @@
+// Package obssafe preserves the zero-cost-when-nil observability
+// contract: instrumentation fields (Sink, Metrics) are nil when
+// disabled, and the nil check is owned by the wrapper layer
+// (nowsim.Obs's emit closures, farmObs methods), not scattered over
+// emission sites.
+//
+// The analyzer flags any method call made directly through a struct
+// field named Sink or Metrics — `o.Sink.Emit(e)`,
+// `o.Metrics.Counter(...)` — outside packages named obs (the sink
+// implementations themselves). Such calls either panic when the field
+// is nil or force the caller to repeat the nil guard the wrapper
+// already centralizes. Emission through a locally bound, checked value
+// (`s := o.Sink; if s != nil { s.Emit(e) }`) or through the wrappers is
+// fine. The wrapper layer's own field emissions carry //lint:allow
+// obssafe annotations, which keeps the sanctioned sites enumerable.
+package obssafe
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "obssafe",
+	Doc:  "require event/metric emission to go through the nil-safe Obs wrappers, not raw Sink/Metrics fields",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PkgBase(pass.Pkg.Path()) == "obs" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			method, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			field, ok := ast.Unparen(method.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := field.Sel.Name
+			if name != "Sink" && name != "Metrics" {
+				return true
+			}
+			sel, ok := pass.TypesInfo.Selections[field]
+			if !ok || sel.Kind() != types.FieldVal {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s.%s called through the %s field bypasses the nil-safe Obs wrapper; emit via the wrapper or a nil-checked local", name, method.Sel.Name, name)
+			return true
+		})
+	}
+	return nil
+}

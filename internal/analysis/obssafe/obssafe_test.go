@@ -1,0 +1,12 @@
+package obssafe_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/obssafe"
+)
+
+func TestObssafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), obssafe.Analyzer, "obsdata", "obs")
+}

@@ -1,0 +1,37 @@
+package obsdata
+
+type Event struct{ Kind string }
+
+type Sink interface{ Emit(Event) }
+
+type Registry struct{}
+
+func (*Registry) Counter(name string) int { return 0 }
+
+type Obs struct {
+	Sink    Sink
+	Metrics *Registry
+}
+
+func bad(o Obs, e Event) {
+	o.Sink.Emit(e)         // want "Sink.Emit called through the Sink field"
+	o.Metrics.Counter("x") // want "Metrics.Counter called through the Metrics field"
+}
+
+func sanctioned(o Obs, e Event) {
+	if o.Sink != nil {
+		//lint:allow obssafe wrapper layer owns the nil check
+		o.Sink.Emit(e)
+	}
+}
+
+func local(o Obs, e Event) {
+	s := o.Sink
+	if s != nil {
+		s.Emit(e) // nil-checked local: non-finding
+	}
+}
+
+func pass(o Obs, f func(Sink)) {
+	f(o.Sink) // field passed as a value, not called through: non-finding
+}

@@ -1,0 +1,104 @@
+// Package printlint keeps library packages silent: only commands and
+// examples (package main) may write to the process streams. A library
+// that prints garbles CLI output, breaks byte-identical trace
+// comparisons, and cannot be captured by callers; results must travel
+// through return values, an io.Writer parameter, or the obs layer.
+//
+// In every non-main package, excluding _test.go files (Example tests
+// print by design), the analyzer flags:
+//   - fmt.Print, fmt.Printf, fmt.Println (implicit os.Stdout);
+//   - fmt.Fprint* whose first argument is os.Stdout or os.Stderr;
+//   - any call into the log package's package-level API (the global
+//     logger writes to os.Stderr);
+//   - the print and println builtins.
+package printlint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "printlint",
+	Doc:  "forbid stdout/stderr writes (fmt.Print*, log.*, println) in library packages",
+	Run:  run,
+}
+
+var fmtPrint = map[string]bool{
+	"fmt.Print":   true,
+	"fmt.Printf":  true,
+	"fmt.Println": true,
+}
+
+var fmtFprint = map[string]bool{
+	"fmt.Fprint":   true,
+	"fmt.Fprintf":  true,
+	"fmt.Fprintln": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok && (b.Name() == "print" || b.Name() == "println") {
+					pass.Reportf(call.Pos(), "builtin %s writes to stderr; library packages must stay silent", b.Name())
+				}
+			case *ast.SelectorExpr:
+				fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				full := fn.FullName()
+				switch {
+				case fmtPrint[full]:
+					pass.Reportf(call.Pos(), "%s writes to stdout; library packages must return values or take an io.Writer", full)
+				case fmtFprint[full] && len(call.Args) > 0 && isProcessStream(pass, call.Args[0]):
+					pass.Reportf(call.Pos(), "%s to %s; library packages must not write to the process streams", full, types.ExprString(call.Args[0]))
+				case fn.Pkg().Path() == "log" && isGlobalLogCall(fn):
+					pass.Reportf(call.Pos(), "%s uses the global logger (stderr); library packages must stay silent", full)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isGlobalLogCall reports whether fn is a package-level log function
+// that writes through the global logger. log.New and methods on an
+// instance *log.Logger are fine: their writer is caller-supplied.
+func isGlobalLogCall(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Name() != "New"
+}
+
+// isProcessStream reports whether e denotes os.Stdout or os.Stderr.
+func isProcessStream(pass *analysis.Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Pkg().Path() != "os" {
+		return false
+	}
+	return v.Name() == "Stdout" || v.Name() == "Stderr"
+}

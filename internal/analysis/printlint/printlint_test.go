@@ -1,0 +1,12 @@
+package printlint_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/printlint"
+)
+
+func TestPrintlint(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), printlint.Analyzer, "lib", "mainprog")
+}

@@ -1,0 +1,27 @@
+package lib
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+)
+
+func report(w io.Writer) {
+	fmt.Println("hi")              // want "fmt.Println writes to stdout"
+	fmt.Printf("x=%d\n", 1)        // want "fmt.Printf writes to stdout"
+	fmt.Fprintf(os.Stderr, "no\n") // want "fmt.Fprintf to os.Stderr"
+	fmt.Fprintln(os.Stdout, "no")  // want "fmt.Fprintln to os.Stdout"
+	log.Printf("bad")              // want "log.Printf uses the global logger"
+	println("builtin")             // want "builtin println writes to stderr"
+
+	fmt.Fprintf(w, "fine\n") // caller-supplied writer: non-finding
+	var b strings.Builder
+	fmt.Fprint(&b, "fine") // in-memory writer: non-finding
+	l := log.New(w, "", 0) // instance logger: non-finding
+	l.Printf("fine")       // non-finding
+
+	//lint:allow printlint progress note demanded by the operator
+	fmt.Println("allowed")
+}

@@ -1,0 +1,6 @@
+package lib
+
+import "fmt"
+
+// Test files are exempt: Example tests print by design.
+func printInTest() { fmt.Println("examples print") }

@@ -1,0 +1,9 @@
+// Package main is a command: printing is its job, so nothing here is a
+// finding.
+package main
+
+import "fmt"
+
+func main() {
+	fmt.Println("commands may print")
+}

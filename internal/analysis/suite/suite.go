@@ -1,0 +1,23 @@
+// Package suite enumerates the repository's analyzers in the order
+// drivers run them. cmd/cslint, the vet-tool path and any future CI
+// harness all consume this one list, so an analyzer added here is
+// enforced everywhere at once.
+package suite
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/errsink"
+	"repro/internal/analysis/floatcmp"
+	"repro/internal/analysis/obssafe"
+	"repro/internal/analysis/printlint"
+)
+
+// All is the full cslint analyzer suite.
+var All = []*analysis.Analyzer{
+	determinism.Analyzer,
+	errsink.Analyzer,
+	floatcmp.Analyzer,
+	obssafe.Analyzer,
+	printlint.Analyzer,
+}

@@ -1,0 +1,156 @@
+// Package unit implements the cmd/go vet-tool protocol, so the lint
+// suite can run as `go vet -vettool=$(which cslint) ./...`: the go
+// command plans the build, supplies per-package JSON configs with
+// compiler export data for every import, and invokes the tool once per
+// package. This is x/tools' unitchecker reimplemented on the standard
+// library: export data is read through go/importer's "gc" importer with
+// a lookup function over the config's PackageFile map.
+//
+// Protocol (reverse-engineered from cmd/go/internal/work): the tool is
+// invoked with a single argument ending in .cfg; it must write the
+// VetxOutput facts file (empty here — these analyzers are fact-free),
+// report diagnostics to stderr as file:line:col: message, and exit
+// nonzero when it found anything.
+package unit
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+// Config is the JSON schema cmd/go writes for each vetted package
+// (vetConfig in cmd/go/internal/work/exec.go).
+type Config struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	ImportMap    map[string]string
+	PackageFile  map[string]string
+	Standard     map[string]bool
+	PackageVetx  map[string]string
+	VetxOnly     bool
+	VetxOutput   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Run executes the analyzers over the package described by cfgFile and
+// returns the process exit code: 0 clean, 1 findings or type errors, 2
+// protocol errors.
+func Run(cfgFile string, analyzers []*analysis.Analyzer, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(stderr, "cslint:", err)
+		return 2
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "cslint: parsing %s: %v\n", cfgFile, err)
+		return 2
+	}
+	// The go command reads the facts file back even when the run fails;
+	// write it first. The suite keeps no facts, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(stderr, "cslint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency pass: cmd/go only wants facts, which we don't have.
+		return 0
+	}
+	if cfg.Compiler != "" && cfg.Compiler != "gc" {
+		fmt.Fprintf(stderr, "cslint: unsupported compiler %q\n", cfg.Compiler)
+		return 2
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	var terrs []error
+	tconf := types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			if importPath == "unsafe" {
+				return types.Unsafe, nil
+			}
+			path := importPath
+			if mapped, ok := cfg.ImportMap[importPath]; ok {
+				path = mapped
+			}
+			return gc.Import(path)
+		}),
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		Error: func(err error) {
+			terrs = append(terrs, err)
+		},
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	tpkg, _ := tconf.Check(cfg.ImportPath, fset, files, info)
+	if len(terrs) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		for _, e := range terrs {
+			fmt.Fprintln(stderr, e)
+		}
+		return 1
+	}
+
+	findings, err := analysis.RunAnalyzers(fset, files, tpkg, info, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "cslint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stderr, f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

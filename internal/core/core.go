@@ -250,6 +250,7 @@ func (pl *Planner) invertP(target, from float64) (float64, error) {
 			return 0, err
 		}
 		from, hi = lo, h
+		//lint:allow floatcmp bracket collapsed onto the root exactly
 		if from == hi {
 			return from, nil
 		}

@@ -142,6 +142,7 @@ func TestUniformT0BoundsFormula(t *testing.T) {
 	if !b.Contains(math.Sqrt(200)) {
 		t.Error("bracket excludes sqrt(2cL)")
 	}
+	//lint:allow floatcmp Width is defined as exactly Hi-Lo
 	if b.Width() != b.Hi-b.Lo {
 		t.Error("Width wrong")
 	}

@@ -60,6 +60,7 @@ func (pl *Planner) T0Landscape(n int, relTol float64) ([]LocalMax, error) {
 		if es[i] >= left && es[i] >= right && !math.IsInf(es[i], -1) {
 			// Skip plateau duplicates: only the first sample of a flat
 			// run counts.
+			//lint:allow floatcmp plateau detection is deliberately exact
 			if i > 0 && es[i] == es[i-1] {
 				continue
 			}

@@ -36,7 +36,9 @@ func TestPlanBestPublishesMetrics(t *testing.T) {
 		"cs_plan_t0":                 plan.T0,
 		"cs_plan_expected_work":      plan.ExpectedWork,
 	}
+	//lint:allow determinism iteration order does not affect assertions
 	for name, want := range checks {
+		//lint:allow floatcmp gauges must republish plan fields bit-for-bit
 		if got := reg.Gauge(name, "").Value(); got != want {
 			t.Errorf("%s = %g, want %g", name, got, want)
 		}
@@ -73,6 +75,7 @@ func TestPlanBestNilMetrics(t *testing.T) {
 	}
 	plain := mk(nil)
 	observed := mk(obs.NewRegistry())
+	//lint:allow floatcmp metrics must not perturb the plan: bit-identical
 	if plain.T0 != observed.T0 || plain.ExpectedWork != observed.ExpectedWork ||
 		plain.Evaluations != observed.Evaluations {
 		t.Errorf("plan differs with metrics enabled: %+v vs %+v", plain, observed)

@@ -118,6 +118,7 @@ func TestProgressiveReset(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//lint:allow floatcmp replay determinism: bit-identical
 	if p1 != p2 {
 		t.Errorf("replay after reset differs: %g vs %g", p1, p2)
 	}

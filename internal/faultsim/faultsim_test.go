@@ -110,6 +110,7 @@ func TestRunDeterministicPerSeed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//lint:allow floatcmp same-seed determinism: bit-identical
 	if a.Makespan != b.Makespan || a.Failures != b.Failures {
 		t.Error("same seed produced different runs")
 	}

@@ -93,6 +93,7 @@ func TestValidateDistributionDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//lint:allow floatcmp same-seed determinism: bit-identical
 	if s1 != s2 || p1 != p2 {
 		t.Error("same seed produced different chi-square results")
 	}

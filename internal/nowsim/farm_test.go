@@ -99,6 +99,7 @@ func TestFarmDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//lint:allow floatcmp same-seed determinism: bit-identical
 	if r1.Makespan != r2.Makespan || r1.LostWork != r2.LostWork || r1.Episodes != r2.Episodes {
 		t.Error("same seed produced different farm runs")
 	}

@@ -1,0 +1,100 @@
+package nowsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lifefn"
+)
+
+// fuzzLife returns the fixed life function the parse fuzzers resolve
+// specs against; parsing behavior, not planning quality, is under test.
+func fuzzLife(t testing.TB) lifefn.Life {
+	l, err := lifefn.NewUniform(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// FuzzParsePolicy asserts ParsePolicy never panics and that accepted
+// specs round-trip: the canonical Name must itself parse back to the
+// same Name, and the factory must produce a policy.
+func FuzzParsePolicy(f *testing.F) {
+	for _, seed := range []string{
+		"guideline", "progressive", "fixed:25", "allatonce",
+		"fixed:0", "fixed:-1", "fixed:1e308", "fixed:", " guideline ", "nope",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		l := fuzzLife(t)
+		ps, err := ParsePolicy(spec, l, 1, core.PlanOptions{})
+		if err != nil {
+			return
+		}
+		if ps.Factory == nil {
+			t.Fatalf("ParsePolicy(%q): nil factory without error", spec)
+		}
+		if ps.Factory() == nil {
+			t.Fatalf("ParsePolicy(%q): factory returned nil policy", spec)
+		}
+		back, err := ParsePolicy(ps.Name, l, 1, core.PlanOptions{})
+		if err != nil {
+			t.Fatalf("canonical name %q from %q does not re-parse: %v", ps.Name, spec, err)
+		}
+		if back.Name != ps.Name {
+			t.Fatalf("round-trip changed name: %q -> %q", ps.Name, back.Name)
+		}
+	})
+}
+
+// FuzzParseDist asserts ParseDist never panics and that accepted names
+// round-trip through DurationDist.String.
+func FuzzParseDist(f *testing.F) {
+	for _, seed := range []string{"uniform", "lognormal", "bimodal", "pareto", "", "Uniform"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		d, err := ParseDist(name)
+		if err != nil {
+			return
+		}
+		back, err := ParseDist(d.String())
+		if err != nil {
+			t.Fatalf("ParseDist(%q).String() = %q does not re-parse: %v", name, d.String(), err)
+		}
+		if back != d {
+			t.Fatalf("round-trip changed distribution: %v -> %v", d, back)
+		}
+	})
+}
+
+// FuzzBuildLife asserts BuildLife never panics and that every life it
+// accepts is usable: non-nil, with P a valid survival probability.
+func FuzzBuildLife(f *testing.F) {
+	f.Add("uniform", 100.0, 0.0, 0)
+	f.Add("poly", 50.0, 0.0, 2)
+	f.Add("geomdec", 0.0, 8.0, 0)
+	f.Add("geominc", 30.0, 0.0, 0)
+	f.Add("geomdec", 0.0, -1.0, 0)
+	f.Add("uniform", math.Inf(1), 0.0, 0)
+	f.Add("poly", math.NaN(), 0.0, 1)
+	f.Fuzz(func(t *testing.T, name string, lifespan, halfLife float64, d int) {
+		l, err := BuildLife(name, lifespan, halfLife, d)
+		if err != nil {
+			return
+		}
+		if l == nil {
+			t.Fatalf("BuildLife(%q, %g, %g, %d): nil life without error", name, lifespan, halfLife, d)
+		}
+		for _, at := range []float64{0, 1, lifespan} {
+			p := l.P(at)
+			if math.IsNaN(p) || p < 0 || p > 1 {
+				t.Fatalf("BuildLife(%q, %g, %g, %d).P(%g) = %g, not a survival probability",
+					name, lifespan, halfLife, d, at, p)
+			}
+		}
+	})
+}

@@ -126,6 +126,7 @@ func (o Obs) episodeEmit(worker int, m *simMetrics) func(EpisodeEvent) {
 	}
 	return func(e EpisodeEvent) {
 		if o.Sink != nil {
+			//lint:allow obssafe this is the nil-safe wrapper itself
 			o.Sink.Emit(e.TraceEvent(worker))
 		}
 		m.observe(e)

@@ -168,16 +168,16 @@ func MonteCarloParallelObs(factory func() Policy, owner Owner, c float64, n int,
 	var work, lost, periods stats.Running
 	var reclaimed int64
 	m := newSimMetrics(o.Metrics, c)
+	emitMerged := o.episodeEmit(0, m)
 	for b := range results {
 		work.Merge(results[b].work)
 		lost.Merge(results[b].lost)
 		periods.Merge(results[b].periods)
 		reclaimed += results[b].reclaimed
 		for _, e := range results[b].events {
-			if o.Sink != nil {
-				o.Sink.Emit(e.TraceEvent(0))
+			if emitMerged != nil {
+				emitMerged(e)
 			}
-			m.observe(e)
 		}
 	}
 	if m != nil {

@@ -16,6 +16,7 @@ func TestMonteCarloParallelDeterministicAcrossWorkerCounts(t *testing.T) {
 	ref := MonteCarloParallel(factory, owner, 1, 20_000, 31, 2)
 	for _, workers := range []int{1 + 2, 4, 7, 16} {
 		got := MonteCarloParallel(factory, owner, 1, 20_000, 31, workers)
+		//lint:allow floatcmp worker count must not change results: bit-identical
 		if got.Work.Mean != ref.Work.Mean || got.Reclaimed != ref.Reclaimed {
 			t.Errorf("workers=%d: mean %.12g vs %.12g, reclaimed %d vs %d",
 				workers, got.Work.Mean, ref.Work.Mean, got.Reclaimed, ref.Reclaimed)
@@ -52,6 +53,7 @@ func TestMonteCarloParallelSmallN(t *testing.T) {
 	// workers <= 1 falls back to the serial path.
 	serial := MonteCarloParallel(factory, LifeOwner{Life: l}, 1, 100, 1, 1)
 	direct := MonteCarlo(NewSchedulePolicy(s, "par"), LifeOwner{Life: l}, 1, 100, 1)
+	//lint:allow floatcmp serial fallback must match exactly
 	if serial.Work.Mean != direct.Work.Mean {
 		t.Error("workers=1 does not match serial MonteCarlo")
 	}

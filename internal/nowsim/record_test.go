@@ -27,6 +27,7 @@ func TestRunEpisodeRecordedEventSequence(t *testing.T) {
 	}
 	// Result must agree with the unrecorded runner.
 	plain := RunEpisode(NewSchedulePolicy(s, "plain"), 1, 8)
+	//lint:allow floatcmp recording must not perturb the run: bit-identical
 	if res.Work != plain.Work || res.Lost != plain.Lost || res.PeriodsCommitted != plain.PeriodsCommitted {
 		t.Errorf("recorded result %+v differs from plain %+v", res, plain)
 	}
@@ -42,6 +43,7 @@ func TestRunEpisodeRecordedVoluntaryEnd(t *testing.T) {
 }
 
 func TestEventStrings(t *testing.T) {
+	//lint:allow determinism iteration order does not affect assertions
 	for k, want := range map[EventKind]string{
 		EventDispatch: "dispatch", EventCommit: "commit",
 		EventKill: "kill", EventVoluntaryEnd: "voluntary-end",

@@ -99,7 +99,9 @@ func ParseDist(name string) (DurationDist, error) {
 		return DistLogNormal, nil
 	case "bimodal":
 		return DistBimodal, nil
-	case "pareto":
+	case "pareto", "pareto-capped":
+		// "pareto-capped" is the canonical String() form; accept it so
+		// every parsed distribution's name re-parses.
 		return DistParetoCapped, nil
 	default:
 		return 0, fmt.Errorf("nowsim: unknown distribution %q (want uniform, lognormal, bimodal, or pareto)", name)

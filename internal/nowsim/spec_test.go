@@ -79,6 +79,7 @@ func TestParsePolicyGuidelineMatchesPlanner(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//lint:allow floatcmp shared parser must produce the identical plan
 	if ps.Plan.T0 != want.T0 || ps.Plan.ExpectedWork != want.ExpectedWork {
 		t.Errorf("shared parser plan (t0=%g, E=%g) differs from direct plan (t0=%g, E=%g)",
 			ps.Plan.T0, ps.Plan.ExpectedWork, want.T0, want.ExpectedWork)
@@ -86,6 +87,7 @@ func TestParsePolicyGuidelineMatchesPlanner(t *testing.T) {
 }
 
 func TestParseDist(t *testing.T) {
+	//lint:allow determinism iteration order does not affect assertions
 	for name, want := range map[string]DurationDist{
 		"uniform":   DistUniform,
 		"lognormal": DistLogNormal,

@@ -73,6 +73,7 @@ func TestDurationDistStrings(t *testing.T) {
 		DistBimodal: "bimodal", DistParetoCapped: "pareto-capped",
 		DurationDist(99): "unknown",
 	}
+	//lint:allow determinism iteration order does not affect assertions
 	for d, want := range names {
 		if d.String() != want {
 			t.Errorf("%d.String() = %q, want %q", d, d.String(), want)

@@ -36,6 +36,7 @@ func MaximizeGolden(f func(float64) float64, a, b float64, opt MaxOptions) (x, f
 	if !(a <= b) {
 		return 0, 0, fmt.Errorf("%w: [%g, %g]", ErrInvalidInterval, a, b)
 	}
+	//lint:allow floatcmp degenerate zero-width interval short-circuit
 	if a == b {
 		return a, f(a), nil
 	}
@@ -74,6 +75,7 @@ func MaximizeScan(f func(float64) float64, a, b float64, n int, opt MaxOptions) 
 	if n < 2 {
 		n = 2
 	}
+	//lint:allow floatcmp degenerate zero-width interval short-circuit
 	if a == b {
 		return a, f(a), nil
 	}

@@ -107,12 +107,14 @@ func (p *PCHIP) DerivAt(x float64) float64 {
 func (p *PCHIP) eval(x float64) (val, deriv float64) {
 	n := len(p.xs)
 	if x <= p.xs[0] {
+		//lint:allow floatcmp exact knot hit returns the stored ordinate
 		if x == p.xs[0] {
 			return p.ys[0], p.ds[0]
 		}
 		return p.ys[0], 0
 	}
 	if x >= p.xs[n-1] {
+		//lint:allow floatcmp exact knot hit returns the stored ordinate
 		if x == p.xs[n-1] {
 			return p.ys[n-1], p.ds[n-1]
 		}
@@ -120,6 +122,7 @@ func (p *PCHIP) eval(x float64) (val, deriv float64) {
 	}
 	// Locate the interval with sort.SearchFloat64s: index of first knot > x.
 	i := sort.SearchFloat64s(p.xs, x)
+	//lint:allow floatcmp exact knot hit returns the stored ordinate
 	if p.xs[i] == x {
 		return p.ys[i], p.ds[i]
 	}

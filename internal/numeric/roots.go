@@ -139,6 +139,7 @@ func Brent(f func(float64) float64, a, b float64, opt RootOptions) (float64, err
 		} else {
 			s := fb / fa
 			var p, q float64
+			//lint:allow floatcmp Brent picks secant vs IQI on exact bracket equality
 			if a == c {
 				// Secant (linear interpolation).
 				p = 2 * m * s

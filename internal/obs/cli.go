@@ -58,7 +58,7 @@ func (f *Flags) Setup(reg *Registry) (*Session, error) {
 			sink := NewChromeSink(file)
 			s.Sink, s.closer = sink, sink
 		default:
-			file.Close()
+			_ = file.Close()
 			return nil, fmt.Errorf("obs: unknown trace format %q (want jsonl or chrome)", f.TraceFormat)
 		}
 	}

@@ -139,6 +139,7 @@ func TestExpBuckets(t *testing.T) {
 	got := ExpBuckets(1, 2, 4)
 	want := []float64{1, 2, 4, 8}
 	for i := range want {
+		//lint:allow floatcmp bucket bounds are exact powers of two
 		if got[i] != want[i] {
 			t.Fatalf("ExpBuckets = %v, want %v", got, want)
 		}

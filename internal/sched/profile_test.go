@@ -21,6 +21,7 @@ func TestWorkProfileSteps(t *testing.T) {
 	}
 	for i, w := range want {
 		g := steps[i]
+		//lint:allow floatcmp work units are exact integers in float form
 		if math.Abs(g.From-w.From) > 1e-12 || g.Work != w.Work {
 			t.Errorf("step %d = %+v, want %+v", i, g, w)
 		}

@@ -62,6 +62,7 @@ func TestRunningMergeMatchesSequential(t *testing.T) {
 	if math.Abs(a.Variance()-whole.Variance()) > 1e-9*whole.Variance() {
 		t.Errorf("merged variance %g vs %g", a.Variance(), whole.Variance())
 	}
+	//lint:allow floatcmp min/max merge is exact selection, no arithmetic
 	if a.Min() != whole.Min() || a.Max() != whole.Max() {
 		t.Error("merged min/max wrong")
 	}

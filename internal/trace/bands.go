@@ -42,6 +42,7 @@ func ProductLimitBand(obs []Observation, z float64) (Band, error) {
 	for i < len(sorted) {
 		t := sorted[i].Duration
 		deaths, censored := 0, 0
+		//lint:allow floatcmp tied event times group exactly (Kaplan-Meier convention)
 		for i < len(sorted) && sorted[i].Duration == t {
 			if sorted[i].Censored {
 				censored++
@@ -97,8 +98,11 @@ func sortObservations(obs []Observation) {
 	// Deaths before censorings at ties (standard convention), as in
 	// ProductLimit.
 	sortSliceStable(obs, func(a, b Observation) bool {
-		if a.Duration != b.Duration {
-			return a.Duration < b.Duration
+		if a.Duration < b.Duration {
+			return true
+		}
+		if b.Duration < a.Duration {
+			return false
 		}
 		return !a.Censored && b.Censored
 	})

@@ -73,6 +73,7 @@ func TestProductLimitBandZeroZ(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range band.Times {
+		//lint:allow floatcmp z=0 collapses the band exactly
 		if band.Lower[i] != band.Center[i] || band.Upper[i] != band.Center[i] {
 			t.Fatal("z=0 band should collapse to the point estimate")
 		}

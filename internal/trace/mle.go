@@ -118,6 +118,7 @@ func FitWeibull(obs []Observation) (lifefn.Weibull, error) {
 	}
 	distinct := false
 	for _, d := range deaths[1:] {
+		//lint:allow floatcmp distinctness guard; any difference at all suffices
 		if d != deaths[0] {
 			distinct = true
 			break

@@ -69,8 +69,11 @@ func ProductLimit(obs []Observation) (times, surv []float64, err error) {
 	}
 	sorted := append([]Observation(nil), obs...)
 	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].Duration != sorted[j].Duration {
-			return sorted[i].Duration < sorted[j].Duration
+		if sorted[i].Duration < sorted[j].Duration {
+			return true
+		}
+		if sorted[j].Duration < sorted[i].Duration {
+			return false
 		}
 		// Deaths before censorings at ties (standard convention).
 		return !sorted[i].Censored && sorted[j].Censored
@@ -81,6 +84,7 @@ func ProductLimit(obs []Observation) (times, surv []float64, err error) {
 	for i < len(sorted) {
 		t := sorted[i].Duration
 		deaths, censored := 0, 0
+		//lint:allow floatcmp tied event times group exactly (Kaplan-Meier convention)
 		for i < len(sorted) && sorted[i].Duration == t {
 			if sorted[i].Censored {
 				censored++
