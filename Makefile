@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet lint fmt-check ci bench bench-obs fuzz-smoke
+.PHONY: all build test race vet lint fmt-check ci bench bench-obs bench-perf fuzz-smoke
 
 all: build
 
@@ -50,3 +50,9 @@ bench:
 bench-obs:
 	BENCH_OBS_OUT=$(CURDIR)/BENCH_obs.json $(GO) test ./internal/nowsim -run TestObsOverheadSnapshot -v
 	@cat $(CURDIR)/BENCH_obs.json
+
+# Writes BENCH_perf.json: calibrated micro-benchmarks over the episode,
+# farm and sink hot paths (ns/op, allocs/op; min and median of N runs),
+# plus the nil-obs overhead percentage the acceptance criterion bounds.
+bench-perf:
+	$(GO) run ./cmd/csbench -perf -perf-out $(CURDIR)/BENCH_perf.json

@@ -23,12 +23,19 @@ import (
 
 func main() {
 	var (
-		runList = flag.String("run", "", "comma-separated experiment ids (default: all)")
-		format  = flag.String("format", "text", "output format: text, md, csv")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		timing  = flag.Bool("timing", false, "print per-experiment wall time to stderr")
+		runList  = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		format   = flag.String("format", "text", "output format: text, md, csv")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		timing   = flag.Bool("timing", false, "print per-experiment wall time to stderr")
+		perf     = flag.Bool("perf", false, "run the hot-path micro-benchmark suite instead of the experiments")
+		perfRuns = flag.Int("perf-runs", 5, "repetitions per -perf benchmark (min and median are reported)")
+		perfOut  = flag.String("perf-out", "BENCH_perf.json", "output file for the -perf JSON report")
 	)
 	flag.Parse()
+
+	if *perf {
+		os.Exit(runPerf(*perfRuns, *perfOut, os.Stdout, os.Stderr))
+	}
 
 	all := experiments.All()
 	if *list {

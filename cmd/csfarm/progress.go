@@ -1,0 +1,195 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/nowsim"
+	"repro/internal/obs"
+)
+
+// syncWriter serializes writes so the progress goroutine and the main
+// loop can share stderr without interleaving torn lines.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// board tracks a csfarm run for live monitoring: it produces the
+// /debug/csrun RunStatus snapshots and the -progress lines. All live
+// numbers come from registry atomics and the counting sink, so
+// snapshotting from the HTTP or ticker goroutine never touches the
+// simulation. The mutex only guards the policy bookkeeping, which the
+// main loop updates between runs.
+type board struct {
+	mu       sync.Mutex
+	start    time.Time
+	reg      *obs.Registry
+	counting *obs.CountingSink
+	flight   *obs.FlightRecorder
+
+	phase      string
+	tasksTotal int
+	workers    int
+	policies   []obs.PolicyStatus
+	cur        int
+
+	// Registry values at the current policy's start; live minus base is
+	// the policy's own progress.
+	baseEpisodes  uint64
+	baseCommitted float64
+	baseTasks     uint64
+}
+
+func newBoard(reg *obs.Registry, counting *obs.CountingSink, flight *obs.FlightRecorder, workers, tasksTotal int) *board {
+	return &board{
+		start:      time.Now(),
+		reg:        reg,
+		counting:   counting,
+		flight:     flight,
+		phase:      "starting",
+		tasksTotal: tasksTotal,
+		workers:    workers,
+		cur:        -1,
+	}
+}
+
+func (b *board) episodesLive() uint64 {
+	return b.reg.Counter("cs_episodes_total", "").Value()
+}
+
+func (b *board) committedLive() float64 {
+	return b.reg.Gauge("cs_committed_work", "").Value()
+}
+
+func (b *board) tasksLive() uint64 {
+	var sum uint64
+	for i := 0; i < b.workers; i++ {
+		sum += b.reg.Counter(obs.Labeled("cs_worker_tasks_completed_total", "worker", nowsim.WorkerLabel(i)), "").Value()
+	}
+	return sum
+}
+
+// startPolicy opens a new policy entry and rebases the registry deltas.
+func (b *board) startPolicy(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.phase = "running"
+	b.baseEpisodes = b.episodesLive()
+	b.baseCommitted = b.committedLive()
+	b.baseTasks = b.tasksLive()
+	b.policies = append(b.policies, obs.PolicyStatus{
+		Policy: name, State: "running", TasksTotal: b.tasksTotal,
+	})
+	b.cur = len(b.policies) - 1
+}
+
+// endPolicy finalizes the current policy entry from its finished run.
+func (b *board) endPolicy(makespan, committed float64, episodes, tasksDone int, drained, failed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cur < 0 {
+		return
+	}
+	p := &b.policies[b.cur]
+	p.State = "done"
+	if failed {
+		p.State = "failed"
+	}
+	p.Episodes = uint64(episodes)
+	p.Committed = committed
+	if episodes > 0 {
+		p.MeanCommitted = committed / float64(episodes)
+	}
+	p.TasksDone = tasksDone
+	p.Makespan = makespan
+	p.Drained = drained
+	b.cur = -1
+}
+
+func (b *board) finish() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.phase = "done"
+}
+
+// snapshot assembles the live RunStatus served at /debug/csrun.
+func (b *board) snapshot() obs.RunStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	elapsed := time.Since(b.start).Seconds()
+	st := obs.RunStatus{
+		Phase:       b.phase,
+		ElapsedSec:  elapsed,
+		EventsTotal: b.counting.Count(),
+		TasksTotal:  b.tasksTotal,
+		Quantiles:   b.reg.QuantileSnapshot(),
+	}
+	if elapsed > 0 {
+		st.EventsPerSec = float64(st.EventsTotal) / elapsed
+	}
+	if b.flight != nil {
+		st.FlightDropped = b.flight.Dropped()
+	}
+	st.Policies = append([]obs.PolicyStatus(nil), b.policies...)
+	if b.cur >= 0 {
+		p := &st.Policies[b.cur]
+		p.Episodes = b.episodesLive() - b.baseEpisodes
+		p.Committed = b.committedLive() - b.baseCommitted
+		if p.Episodes > 0 {
+			p.MeanCommitted = p.Committed / float64(p.Episodes)
+		}
+		p.TasksDone = int(b.tasksLive() - b.baseTasks)
+		st.Policy = p.Policy
+		st.Episodes = p.Episodes
+		st.TasksDone = p.TasksDone
+	}
+	return st
+}
+
+// progressLine renders one -progress line from a snapshot.
+func progressLine(st obs.RunStatus) string {
+	pol := st.Policy
+	if pol == "" {
+		pol = st.Phase
+	}
+	line := fmt.Sprintf("csfarm: [%s] episodes=%d committed=%.0f tasks=%d/%d ev/s=%.0f",
+		pol, st.Episodes, policyCommitted(st), st.TasksDone, st.TasksTotal, st.EventsPerSec)
+	if q, ok := st.Quantiles["cs_bundle_latency"]; ok {
+		line += fmt.Sprintf(" bundle_p50=%.2f bundle_p99=%.2f", q["p50"], q["p99"])
+	}
+	return line + "\n"
+}
+
+func policyCommitted(st obs.RunStatus) float64 {
+	for _, p := range st.Policies {
+		if p.Policy == st.Policy {
+			return p.Committed
+		}
+	}
+	return 0
+}
+
+// runProgress prints a progress line every interval until stop is
+// closed, then once more so short runs still log a final state.
+func runProgress(w io.Writer, b *board, interval time.Duration, stop <-chan struct{}) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			fmt.Fprint(w, progressLine(b.snapshot()))
+		case <-stop:
+			fmt.Fprint(w, progressLine(b.snapshot()))
+			return
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Command csmon is a live terminal monitor for a running csfarm (or
+// any command serving the /debug/csrun status endpoint): it polls the
+// endpoint and renders a refreshing dashboard of run phase, events/sec,
+// per-policy E(S;p) progress and latency quantile summaries.
+//
+// Usage:
+//
+//	csmon -addr localhost:9090                 # refresh until the run ends
+//	csmon -addr localhost:9090 -interval 250ms
+//	csmon -addr localhost:9090 -count 1 -plain # one snapshot, no ANSI
+//
+// Exit status: 0 when the monitored run reaches phase "done" (or after
+// -count polls), 1 when the endpoint cannot be fetched or parsed, 2 on
+// usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("csmon", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "localhost:9090", "host:port of the monitored command's -metrics-addr server")
+		interval = fs.Duration("interval", time.Second, "poll interval")
+		count    = fs.Int("count", 0, "stop after this many polls (0: until the run is done)")
+		plain    = fs.Bool("plain", false, "append frames instead of clearing the terminal (for logs and pipes)")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if *addr == "" {
+		fmt.Fprintln(stderr, "csmon: -addr is required")
+		return 2
+	}
+
+	url := "http://" + *addr + "/debug/csrun"
+	client := &http.Client{Timeout: 5 * time.Second}
+	for polls := 0; ; {
+		st, err := fetch(client, url)
+		if err != nil {
+			fmt.Fprintln(stderr, "csmon:", err)
+			return 1
+		}
+		if !*plain {
+			// ANSI clear-screen + home keeps one refreshing frame.
+			fmt.Fprint(stdout, "\x1b[2J\x1b[H")
+		}
+		render(stdout, *addr, st)
+		polls++
+		if st.Phase == "done" || (*count > 0 && polls >= *count) {
+			return 0
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func fetch(client *http.Client, url string) (obs.RunStatus, error) {
+	var st obs.RunStatus
+	resp, err := client.Get(url)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("decoding %s: %w", url, err)
+	}
+	return st, nil
+}
+
+func render(w io.Writer, addr string, st obs.RunStatus) {
+	fmt.Fprintf(w, "csmon %s  phase=%s  elapsed=%.1fs  events=%d  ev/s=%.0f",
+		addr, st.Phase, st.ElapsedSec, st.EventsTotal, st.EventsPerSec)
+	if st.FlightDropped > 0 {
+		fmt.Fprintf(w, "  flight_dropped=%d", st.FlightDropped)
+	}
+	fmt.Fprintln(w)
+	if len(st.Policies) > 0 {
+		fmt.Fprintf(w, "%-16s %-8s %9s %12s %10s %11s %10s\n",
+			"policy", "state", "episodes", "committed", "E(S;p)", "tasks", "makespan")
+		for _, p := range st.Policies {
+			tasks := fmt.Sprintf("%d/%d", p.TasksDone, p.TasksTotal)
+			makespan := "-"
+			if p.State == "done" || p.State == "failed" {
+				makespan = fmt.Sprintf("%.0f", p.Makespan)
+				if !p.Drained {
+					makespan += "!"
+				}
+			}
+			fmt.Fprintf(w, "%-16s %-8s %9d %12.1f %10.2f %11s %10s\n",
+				p.Policy, p.State, p.Episodes, p.Committed, p.MeanCommitted, tasks, makespan)
+		}
+	}
+	if len(st.Quantiles) > 0 {
+		names := make([]string, 0, len(st.Quantiles))
+		for name := range st.Quantiles {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "%-28s %10s %10s %10s %10s\n", "quantiles", "p50", "p90", "p99", "p999")
+		for _, name := range names {
+			q := st.Quantiles[name]
+			fmt.Fprintf(w, "%-28s %10.3g %10.3g %10.3g %10.3g\n",
+				name, q["p50"], q["p90"], q["p99"], q["p999"])
+		}
+	}
+}

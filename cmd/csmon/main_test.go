@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+const sampleStatus = `{
+  "phase": "running",
+  "policy": "guideline",
+  "elapsed_sec": 2.5,
+  "events_total": 12000,
+  "events_per_sec": 4800,
+  "tasks_total": 4000,
+  "tasks_done": 900,
+  "episodes": 42,
+  "policies": [
+    {"policy": "guideline", "state": "running", "episodes": 42,
+     "committed_work": 1234.5, "mean_committed_per_episode": 29.4,
+     "tasks_done": 900, "tasks_total": 4000, "drained": false}
+  ],
+  "quantiles": {
+    "cs_bundle_latency": {"p50": 12.5, "p90": 20, "p99": 31.5, "p999": 44}
+  }
+}`
+
+func statusServer(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/csrun" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(body))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestRunRendersSnapshot(t *testing.T) {
+	srv := statusServer(t, sampleStatus)
+	var stdout, stderr bytes.Buffer
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	if got := run([]string{"-addr", addr, "-count", "1", "-plain"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("run = %d\nstderr: %s", got, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"phase=running", "guideline", "900/4000", "cs_bundle_latency", "12.5", "31.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dashboard missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\x1b[2J") {
+		t.Error("-plain output contains ANSI clear sequences")
+	}
+}
+
+func TestRunStopsWhenDone(t *testing.T) {
+	srv := statusServer(t, `{"phase": "done", "elapsed_sec": 1}`)
+	var stdout, stderr bytes.Buffer
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	// No -count: the "done" phase alone must terminate the loop.
+	if got := run([]string{"-addr", addr, "-plain"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("run = %d\nstderr: %s", got, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "phase=done") {
+		t.Errorf("final frame missing phase=done:\n%s", stdout.String())
+	}
+}
+
+func TestRunExitCodes(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-no-such-flag"}, &stdout, &stderr); got != 2 {
+		t.Errorf("bad flag: run = %d, want 2", got)
+	}
+	if got := run([]string{"-addr", ""}, &stdout, &stderr); got != 2 {
+		t.Errorf("empty addr: run = %d, want 2", got)
+	}
+	// A port nothing listens on must fail cleanly.
+	if got := run([]string{"-addr", "127.0.0.1:1", "-count", "1"}, &stdout, &stderr); got != 1 {
+		t.Errorf("unreachable: run = %d, want 1", got)
+	}
+}

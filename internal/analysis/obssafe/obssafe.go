@@ -13,6 +13,13 @@
 // (`s := o.Sink; if s != nil { s.Emit(e) }`) or through the wrappers is
 // fine. The wrapper layer's own field emissions carry //lint:allow
 // obssafe annotations, which keeps the sanctioned sites enumerable.
+//
+// The analyzer also guards the span contract: the Phase, Span and
+// Parent fields of an obs Event are owned by the Spanner/Span API
+// (Start/Child/End allocate IDs, Span.Attach attributes point events).
+// Hand-rolled span records — composite literals or assignments that set
+// those fields outside obs packages — would bypass ID allocation and
+// break begin/end pairing in rendered traces, so they are findings.
 package obssafe
 
 import (
@@ -24,9 +31,12 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "obssafe",
-	Doc:  "require event/metric emission to go through the nil-safe Obs wrappers, not raw Sink/Metrics fields",
+	Doc:  "require event/metric emission to go through the nil-safe Obs wrappers, not raw Sink/Metrics fields or hand-rolled span records",
 	Run:  run,
 }
+
+// spanFields are the Event fields owned by the Spanner/Span API.
+var spanFields = map[string]bool{"Phase": true, "Span": true, "Parent": true}
 
 func run(pass *analysis.Pass) error {
 	if analysis.PkgBase(pass.Pkg.Path()) == "obs" {
@@ -34,29 +44,88 @@ func run(pass *analysis.Pass) error {
 	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkFieldCall(pass, n)
+			case *ast.CompositeLit:
+				checkSpanLiteral(pass, n)
+			case *ast.AssignStmt:
+				checkSpanAssign(pass, n)
 			}
-			method, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			field, ok := ast.Unparen(method.X).(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			name := field.Sel.Name
-			if name != "Sink" && name != "Metrics" {
-				return true
-			}
-			sel, ok := pass.TypesInfo.Selections[field]
-			if !ok || sel.Kind() != types.FieldVal {
-				return true
-			}
-			pass.Reportf(call.Pos(), "%s.%s called through the %s field bypasses the nil-safe Obs wrapper; emit via the wrapper or a nil-checked local", name, method.Sel.Name, name)
 			return true
 		})
 	}
 	return nil
+}
+
+func checkFieldCall(pass *analysis.Pass, call *ast.CallExpr) {
+	method, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	field, ok := ast.Unparen(method.X).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := field.Sel.Name
+	if name != "Sink" && name != "Metrics" {
+		return
+	}
+	sel, ok := pass.TypesInfo.Selections[field]
+	if !ok || sel.Kind() != types.FieldVal {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s.%s called through the %s field bypasses the nil-safe Obs wrapper; emit via the wrapper or a nil-checked local", name, method.Sel.Name, name)
+}
+
+// isObsEvent reports whether t (after pointer stripping) is a named
+// struct type Event declared in a package whose base name is obs.
+func isObsEvent(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Event" || obj.Pkg() == nil {
+		return false
+	}
+	return analysis.PkgBase(obj.Pkg().Path()) == "obs"
+}
+
+// checkSpanLiteral flags obs Event composite literals that set span
+// bookkeeping keys by hand instead of going through the Spanner API.
+func checkSpanLiteral(pass *analysis.Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || !isObsEvent(tv.Type) {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || !spanFields[key.Name] {
+			continue
+		}
+		pass.Reportf(kv.Pos(), "Event literal sets span field %s by hand; span records must come from Spanner.Start/Span.Child/Span.End, and point events attach via Span.Attach", key.Name)
+	}
+}
+
+// checkSpanAssign flags assignments to span fields of an obs Event.
+func checkSpanAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	for _, lhs := range as.Lhs {
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok || !spanFields[sel.Sel.Name] {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[sel.X]
+		if !ok || !isObsEvent(tv.Type) {
+			continue
+		}
+		pass.Reportf(lhs.Pos(), "assignment to Event.%s bypasses the Spanner API; span records must come from Spanner.Start/Span.Child/Span.End, and point events attach via Span.Attach", sel.Sel.Name)
+	}
 }

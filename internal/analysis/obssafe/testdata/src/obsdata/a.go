@@ -1,6 +1,13 @@
 package obsdata
 
-type Event struct{ Kind string }
+import "obs"
+
+type Event struct {
+	Kind   string
+	Phase  string
+	Span   uint64
+	Parent uint64
+}
 
 type Sink interface{ Emit(Event) }
 
@@ -34,4 +41,30 @@ func local(o Obs, e Event) {
 
 func pass(o Obs, f func(Sink)) {
 	f(o.Sink) // field passed as a value, not called through: non-finding
+}
+
+func rawSpans(s obs.Sink) {
+	s.Emit(obs.Event{Phase: "B", Span: 3}) // want "sets span field Phase" "sets span field Span"
+	e := obs.Event{Kind: "commit"}
+	e.Parent = 3 // want "assignment to Event.Parent bypasses the Spanner API"
+	s.Emit(e)
+}
+
+func localEventOK(s obs.Sink) {
+	// Span-free literals and assignments to ordinary fields are fine.
+	e := obs.Event{Kind: "dispatch"}
+	e.Kind = "commit"
+	s.Emit(e)
+}
+
+func lookalike() Event {
+	// A local type also named Event is not the obs Event: non-finding.
+	e := Event{Phase: "B", Span: 1}
+	e.Parent = 2
+	return e
+}
+
+func sanctionedSpan(s obs.Sink, e obs.Event) {
+	//lint:allow obssafe trace fixture builds raw span records on purpose
+	s.Emit(obs.Event{Phase: "E", Span: 3})
 }

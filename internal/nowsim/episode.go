@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/lifefn"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -211,7 +212,10 @@ func MonteCarlo(policy Policy, owner Owner, c float64, n int, seed uint64) Monte
 func MonteCarloObs(policy Policy, owner Owner, c float64, n int, seed uint64, o Obs) MonteCarloResult {
 	src := rng.New(seed)
 	m := newSimMetrics(o.Metrics, c)
-	emit := o.episodeEmit(0, m)
+	// The whole run is one "mc-batch" span on the coordinator row
+	// (worker -1), with the episode index as its time axis.
+	batch := obs.NewSpanner(o.Sink).Start(0, -1, "mc-batch", obs.SpanAttrs{Tasks: n})
+	emit := o.episodeEmitIn(0, m, batch)
 	var work, lost, periods stats.Running
 	var reclaimed int64
 	for i := 0; i < n; i++ {
@@ -225,6 +229,7 @@ func MonteCarloObs(policy Policy, owner Owner, c float64, n int, seed uint64, o 
 			reclaimed++
 		}
 	}
+	batch.End(float64(n))
 	return MonteCarloResult{
 		Work:      stats.Summarize(&work),
 		Lost:      stats.Summarize(&lost),

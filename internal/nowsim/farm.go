@@ -148,11 +148,13 @@ func RunFarm(cfg FarmConfig, pool *TaskPool) (FarmResult, error) {
 	var startEpisode func(w *farmWorker)
 	// park idles a worker whose pool is empty until a requeue wakes it.
 	park := func(w *farmWorker) {
+		fo.parked(w, eng.Now())
 		parked = append(parked, w)
 	}
 	wake = func() {
 		for _, w := range parked {
 			ww := w
+			fo.woke(ww, eng.Now())
 			eng.After(0, func() { startEpisode(ww) })
 		}
 		parked = parked[:0]
@@ -181,6 +183,7 @@ func RunFarm(cfg FarmConfig, pool *TaskPool) (FarmResult, error) {
 			} else {
 				ownerEv.Cancel()
 			}
+			fo.episodeEnd(w, eng.Now())
 			// Owner occupies the machine; return for another episode
 			// afterwards.
 			busy := 0.0

@@ -56,6 +56,13 @@ type simMetrics struct {
 	lost       *obs.Gauge
 	overhead   *obs.Gauge
 	periodLen  *obs.Histogram
+	periodLenQ *obs.QuantileHist
+	epWorkQ    *obs.QuantileHist
+	// epWork accumulates committed work within the current episode; the
+	// kill or voluntary-end that closes every episode flushes it into
+	// epWorkQ, so the quantile summary works on merged replays that
+	// carry no episode-start markers.
+	epWork float64
 }
 
 // newSimMetrics registers (or re-binds) the standard metric set on reg.
@@ -76,6 +83,8 @@ func newSimMetrics(reg *obs.Registry, c float64) *simMetrics {
 		lost:       reg.Gauge("cs_lost_work", "total work destroyed by reclamations"),
 		overhead:   reg.Gauge("cs_overhead_time", "total communication overhead spent"),
 		periodLen:  reg.Histogram("cs_period_length", "dispatched period lengths", periodLenBuckets),
+		periodLenQ: reg.Quantiles("cs_period_length_quantiles", "dispatched period lengths (log-bucketed quantile summary)"),
+		epWorkQ:    reg.Quantiles("cs_episode_committed_work", "committed work per episode"),
 	}
 }
 
@@ -90,9 +99,12 @@ func (m *simMetrics) observe(e EpisodeEvent) {
 	case EventDispatch:
 		m.dispatches.Inc()
 		m.periodLen.Observe(e.Length)
+		m.periodLenQ.Observe(e.Length)
 	case EventCommit:
 		m.commits.Inc()
-		m.committed.Add(sched.PositiveSub(e.Length, m.c))
+		used := sched.PositiveSub(e.Length, m.c)
+		m.committed.Add(used)
+		m.epWork += used
 		if e.Length > m.c {
 			m.overhead.Add(m.c)
 		} else {
@@ -101,8 +113,12 @@ func (m *simMetrics) observe(e EpisodeEvent) {
 	case EventKill:
 		m.kills.Inc()
 		m.lost.Add(sched.PositiveSub(e.Length, m.c))
+		m.epWorkQ.Observe(m.epWork)
+		m.epWork = 0
 	case EventVoluntaryEnd:
 		m.voluntary.Inc()
+		m.epWorkQ.Observe(m.epWork)
+		m.epWork = 0
 	case EventSteal:
 		m.steals.Inc()
 	case EventEpisodeStart:
@@ -121,27 +137,36 @@ func (m *simMetrics) episodeDone() {
 // variants share: forward to the sink (tagged with worker) and update
 // the metrics.
 func (o Obs) episodeEmit(worker int, m *simMetrics) func(EpisodeEvent) {
+	return o.episodeEmitIn(worker, m, obs.Span{})
+}
+
+// episodeEmitIn is episodeEmit with the events attributed to an
+// enclosing span (an inactive span leaves them unattributed).
+func (o Obs) episodeEmitIn(worker int, m *simMetrics, span obs.Span) func(EpisodeEvent) {
 	if o.Sink == nil && m == nil {
 		return nil
 	}
 	return func(e EpisodeEvent) {
 		if o.Sink != nil {
 			//lint:allow obssafe this is the nil-safe wrapper itself
-			o.Sink.Emit(e.TraceEvent(worker))
+			o.Sink.Emit(span.Attach(e.TraceEvent(worker)))
 		}
 		m.observe(e)
 	}
 }
 
 // RunEpisodeObs is RunEpisode with observability: events stream to
-// o.Sink tagged with the given worker index, and o.Metrics accumulates
-// the standard metric set. A zero Obs makes it exactly RunEpisode.
+// o.Sink tagged with the given worker index and framed by an "episode"
+// span, and o.Metrics accumulates the standard metric set. A zero Obs
+// makes it exactly RunEpisode.
 func RunEpisodeObs(policy Policy, c, reclaim float64, worker int, o Obs) EpisodeResult {
 	if !o.enabled() {
 		return RunEpisode(policy, c, reclaim)
 	}
 	m := newSimMetrics(o.Metrics, c)
-	res := runEpisodeEmit(policy, c, reclaim, o.episodeEmit(worker, m))
+	span := obs.NewSpanner(o.Sink).Start(0, worker, "episode", obs.SpanAttrs{})
+	res := runEpisodeEmit(policy, c, reclaim, o.episodeEmitIn(worker, m, span))
+	span.End(res.Duration)
 	m.episodeDone()
 	return res
 }
@@ -188,6 +213,18 @@ type farmObs struct {
 	// periodSeq numbers each worker's dispatches so trace exporters can
 	// pair a dispatch with its commit or kill.
 	periodSeq []int
+	// spanner frames each worker's lifecycle and episodes as B/E span
+	// pairs; workerSpan/epSpan hold the open spans per worker index.
+	spanner    *obs.Spanner
+	workerSpan []obs.Span
+	epSpan     []obs.Span
+	// dispatchAt / parkedAt / epWork feed the bundle-latency, idle-time
+	// and per-episode-work quantile summaries.
+	dispatchAt []float64
+	parkedAt   []float64
+	epWork     []float64
+	bundleLatQ *obs.QuantileHist
+	idleQ      *obs.QuantileHist
 }
 
 func newFarmObs(o Obs, c float64, workers []Worker) *farmObs {
@@ -195,17 +232,25 @@ func newFarmObs(o Obs, c float64, workers []Worker) *farmObs {
 		return nil
 	}
 	f := &farmObs{
-		sink:      o.Sink,
-		reg:       o.Metrics,
-		m:         newSimMetrics(o.Metrics, c),
-		lostBy:    make(map[int]int),
-		periodSeq: make([]int, len(workers)),
+		sink:       o.Sink,
+		reg:        o.Metrics,
+		m:          newSimMetrics(o.Metrics, c),
+		lostBy:     make(map[int]int),
+		periodSeq:  make([]int, len(workers)),
+		spanner:    obs.NewSpanner(o.Sink),
+		workerSpan: make([]obs.Span, len(workers)),
+		epSpan:     make([]obs.Span, len(workers)),
+		dispatchAt: make([]float64, len(workers)),
+		parkedAt:   make([]float64, len(workers)),
+		epWork:     make([]float64, len(workers)),
 	}
-	if o.Metrics != nil {
+	if reg := o.Metrics; reg != nil {
 		f.perWorker = make([]workerMetrics, len(workers))
 		for i := range workers {
-			f.perWorker[i] = newWorkerMetrics(o.Metrics, workers[i].ID)
+			f.perWorker[i] = newWorkerMetrics(reg, workers[i].ID)
 		}
+		f.bundleLatQ = reg.Quantiles("cs_bundle_latency", "dispatch-to-outcome latency of task bundles")
+		f.idleQ = reg.Quantiles("cs_worker_idle_time", "time workers spent parked on an empty pool")
 	}
 	return f
 }
@@ -220,10 +265,49 @@ func (f *farmObs) episodeStart(w *farmWorker, now float64) {
 	if f == nil {
 		return
 	}
-	f.emit(obs.Event{Time: now, Worker: w.stats.ID, Kind: EventEpisodeStart.String()})
+	if f.spanner != nil {
+		if !f.workerSpan[w.idx].Active() {
+			f.workerSpan[w.idx] = f.spanner.Start(now, w.stats.ID, "worker", obs.SpanAttrs{})
+		}
+		f.epSpan[w.idx] = f.workerSpan[w.idx].Child(now, "episode", obs.SpanAttrs{})
+	}
+	f.emit(f.epSpan[w.idx].Attach(obs.Event{Time: now, Worker: w.stats.ID, Kind: EventEpisodeStart.String()}))
 	if f.m != nil {
 		f.m.episodes.Inc()
 		f.perWorker[w.idx].episodes.Inc()
+	}
+}
+
+// episodeEnd closes the worker's episode span and flushes its
+// per-episode committed work into the quantile summary. now is the
+// episode's end time: the reclaim instant or the voluntary end.
+func (f *farmObs) episodeEnd(w *farmWorker, now float64) {
+	if f == nil {
+		return
+	}
+	f.epSpan[w.idx].End(now)
+	f.epSpan[w.idx] = obs.Span{}
+	if f.m != nil {
+		f.m.epWorkQ.Observe(f.epWork[w.idx])
+	}
+	f.epWork[w.idx] = 0
+}
+
+// parked marks the worker idle on an empty pool; woke closes the idle
+// stretch when a requeue restarts it.
+func (f *farmObs) parked(w *farmWorker, now float64) {
+	if f == nil {
+		return
+	}
+	f.parkedAt[w.idx] = now
+}
+
+func (f *farmObs) woke(w *farmWorker, now float64) {
+	if f == nil {
+		return
+	}
+	if f.idleQ != nil {
+		f.idleQ.Observe(now - f.parkedAt[w.idx])
 	}
 }
 
@@ -236,6 +320,7 @@ func (f *farmObs) dispatch(w *farmWorker, now, length float64, bundle []Task) in
 	}
 	period := f.periodSeq[w.idx]
 	f.periodSeq[w.idx]++
+	f.dispatchAt[w.idx] = now
 	stolen := 0
 	for _, task := range bundle {
 		if loser, ok := f.lostBy[task.ID]; ok {
@@ -245,15 +330,17 @@ func (f *farmObs) dispatch(w *farmWorker, now, length float64, bundle []Task) in
 			}
 		}
 	}
-	f.emit(obs.Event{Time: now, Worker: w.stats.ID, Kind: EventDispatch.String(),
-		Period: period, Length: length, Tasks: len(bundle)})
+	ep := f.epSpan[w.idx]
+	f.emit(ep.Attach(obs.Event{Time: now, Worker: w.stats.ID, Kind: EventDispatch.String(),
+		Period: period, Length: length, Tasks: len(bundle)}))
 	if stolen > 0 {
-		f.emit(obs.Event{Time: now, Worker: w.stats.ID, Kind: EventSteal.String(),
-			Period: period, Tasks: stolen})
+		f.emit(ep.Attach(obs.Event{Time: now, Worker: w.stats.ID, Kind: EventSteal.String(),
+			Period: period, Tasks: stolen}))
 	}
 	if f.m != nil {
 		f.m.dispatches.Inc()
 		f.m.periodLen.Observe(length)
+		f.m.periodLenQ.Observe(length)
 		if stolen > 0 {
 			f.m.steals.Inc()
 		}
@@ -265,12 +352,14 @@ func (f *farmObs) commit(w *farmWorker, period int, now, length, used float64, b
 	if f == nil {
 		return
 	}
-	f.emit(obs.Event{Time: now, Worker: w.stats.ID, Kind: EventCommit.String(),
-		Period: period, Length: length, Tasks: len(bundle)})
+	f.epWork[w.idx] += used
+	f.emit(f.epSpan[w.idx].Attach(obs.Event{Time: now, Worker: w.stats.ID, Kind: EventCommit.String(),
+		Period: period, Length: length, Tasks: len(bundle)}))
 	if f.m != nil {
 		f.m.commits.Inc()
 		f.m.committed.Add(used)
 		f.m.overhead.Add(f.m.c)
+		f.bundleLatQ.Observe(now - f.dispatchAt[w.idx])
 		pw := &f.perWorker[w.idx]
 		pw.committed.Add(used)
 		pw.overhead.Add(f.m.c)
@@ -285,11 +374,12 @@ func (f *farmObs) kill(w *farmWorker, period int, now, length, used float64, bun
 	for _, task := range bundle {
 		f.lostBy[task.ID] = w.stats.ID
 	}
-	f.emit(obs.Event{Time: now, Worker: w.stats.ID, Kind: EventKill.String(),
-		Period: period, Length: length, Tasks: len(bundle)})
+	f.emit(f.epSpan[w.idx].Attach(obs.Event{Time: now, Worker: w.stats.ID, Kind: EventKill.String(),
+		Period: period, Length: length, Tasks: len(bundle)}))
 	if f.m != nil {
 		f.m.kills.Inc()
 		f.m.lost.Add(used)
+		f.bundleLatQ.Observe(now - f.dispatchAt[w.idx])
 		pw := &f.perWorker[w.idx]
 		pw.lost.Add(used)
 		pw.tasksLost.Add(uint64(len(bundle)))
@@ -300,15 +390,24 @@ func (f *farmObs) voluntaryEnd(w *farmWorker, now float64) {
 	if f == nil {
 		return
 	}
-	f.emit(obs.Event{Time: now, Worker: w.stats.ID, Kind: EventVoluntaryEnd.String(), Period: -1})
+	f.emit(f.epSpan[w.idx].Attach(obs.Event{Time: now, Worker: w.stats.ID, Kind: EventVoluntaryEnd.String(), Period: -1}))
 	if f.m != nil {
 		f.m.voluntary.Inc()
 	}
 }
 
-// finish publishes the end-of-run engine and farm gauges.
+// finish closes the spans a completed run leaves open (a worker's
+// lifecycle span always; its episode span when the run ended mid-
+// episode) and publishes the end-of-run engine and farm gauges.
 func (f *farmObs) finish(eng *Engine, res *FarmResult) {
-	if f == nil || f.reg == nil {
+	if f == nil {
+		return
+	}
+	for i := range f.workerSpan {
+		f.epSpan[i].End(res.Makespan)
+		f.workerSpan[i].End(res.Makespan)
+	}
+	if f.reg == nil {
 		return
 	}
 	f.reg.Gauge("cs_engine_events_fired", "discrete events the engine executed").Set(float64(eng.Fired()))

@@ -24,7 +24,8 @@ func testLife(t testing.TB) lifefn.Life {
 }
 
 // TestRunEpisodeObsMatchesRecorded: the obs event stream is exactly the
-// recorded log, tagged with the worker index.
+// recorded log, tagged with the worker index and framed by an "episode"
+// span that every point event references as its parent.
 func TestRunEpisodeObsMatchesRecorded(t *testing.T) {
 	s := sched.MustNew(4, 3, 2)
 	var buf obs.BufferSink
@@ -33,13 +34,23 @@ func TestRunEpisodeObsMatchesRecorded(t *testing.T) {
 	if res != plain {
 		t.Errorf("observed result %+v != recorded result %+v", res, plain)
 	}
-	if len(buf.Events) != len(log) {
-		t.Fatalf("sink got %d events, recorder %d", len(buf.Events), len(log))
+	if len(buf.Events) != len(log)+2 {
+		t.Fatalf("sink got %d events, recorder %d (+2 span frames)", len(buf.Events), len(log))
+	}
+	first, last := buf.Events[0], buf.Events[len(buf.Events)-1]
+	if first.Phase != obs.PhaseBegin || first.Kind != "episode" || first.Span == 0 || first.Worker != 7 {
+		t.Errorf("first event is not the episode span begin: %+v", first)
+	}
+	//lint:allow floatcmp the span end copies Duration verbatim
+	if last.Phase != obs.PhaseEnd || last.Span != first.Span || last.Time != res.Duration {
+		t.Errorf("last event is not the matching span end at Duration: %+v", last)
 	}
 	for i := range log {
 		want := log[i].TraceEvent(7)
-		if buf.Events[i] != want {
-			t.Errorf("event %d = %+v, want %+v", i, buf.Events[i], want)
+		//lint:allow obssafe the test builds the expected attributed event by hand
+		want.Parent = first.Span
+		if buf.Events[i+1] != want {
+			t.Errorf("event %d = %+v, want %+v", i, buf.Events[i+1], want)
 		}
 	}
 }
@@ -260,6 +271,89 @@ func TestFarmChromeTraceValid(t *testing.T) {
 	}
 	if slices == 0 {
 		t.Error("no complete (ph=X) period slices in farm trace")
+	}
+}
+
+// TestFarmChromeSpanNesting round-trips a multi-worker farm trace
+// through the Chrome exporter and replays the viewer's own matching
+// rules: a constant pid, every thread's stream time-ordered, and B/E
+// span events forming a properly nested stack per thread (an E always
+// closes the most recent open B, no orphans, nothing left open). This
+// is exactly what breaks when interleaved workers are written in global
+// emission order, so it pins the per-tid sort + repair pass at Close.
+func TestFarmChromeSpanNesting(t *testing.T) {
+	var raw bytes.Buffer
+	sink := obs.NewChromeSink(&raw)
+	cfg, pool := farmConfig(t, Obs{Sink: sink})
+	if _, err := RunFarm(cfg, pool); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			Ts   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw.Bytes(), &tr); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	lastTs := map[int]float64{}
+	stacks := map[int][]string{}
+	var begins, ends int
+	for i, ev := range tr.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		if ev.Pid != 1 {
+			t.Fatalf("event %d: pid = %d, want the stable pid 1", i, ev.Pid)
+		}
+		if prev, ok := lastTs[ev.Tid]; ok && ev.Ts < prev {
+			t.Fatalf("event %d (tid %d): ts %g after %g — thread stream not time-ordered", i, ev.Tid, ev.Ts, prev)
+		}
+		lastTs[ev.Tid] = ev.Ts
+		switch ev.Ph {
+		case "B":
+			begins++
+			stacks[ev.Tid] = append(stacks[ev.Tid], ev.Name)
+		case "E":
+			ends++
+			st := stacks[ev.Tid]
+			if len(st) == 0 {
+				t.Fatalf("event %d (tid %d): E %q with no open span", i, ev.Tid, ev.Name)
+			}
+			if top := st[len(st)-1]; ev.Name != "" && ev.Name != top {
+				t.Fatalf("event %d (tid %d): E %q does not close innermost B %q", i, ev.Tid, ev.Name, top)
+			}
+			stacks[ev.Tid] = st[:len(st)-1]
+		}
+	}
+	//lint:allow determinism order-independent assertion over test-local state
+	for tid, st := range stacks {
+		if len(st) != 0 {
+			t.Errorf("tid %d: spans left open at end of trace: %v", tid, st)
+		}
+	}
+	if begins == 0 || begins != ends {
+		t.Errorf("span framing: %d begins, %d ends — farm should emit balanced worker/episode spans", begins, ends)
+	}
+	// The farm instrumentation opens a worker span per workstation and an
+	// episode span per episode; both kinds must survive the round trip.
+	kinds := map[string]bool{}
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph == "B" {
+			kinds[ev.Name] = true
+		}
+	}
+	for _, want := range []string{"worker", "episode"} {
+		if !kinds[want] {
+			t.Errorf("no %q B span in farm trace (kinds: %v)", want, kinds)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/lifefn"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -27,7 +28,8 @@ func MonteCarloAntithetic(policy Policy, l lifefn.Life, c float64, n int, seed u
 func MonteCarloAntitheticObs(policy Policy, l lifefn.Life, c float64, n int, seed uint64, o Obs) MonteCarloResult {
 	src := rng.New(seed)
 	m := newSimMetrics(o.Metrics, c)
-	emit := o.episodeEmit(0, m)
+	batch := obs.NewSpanner(o.Sink).Start(0, -1, "mc-batch", obs.SpanAttrs{Tasks: 2 * n})
+	emit := o.episodeEmitIn(0, m, batch)
 	var work, lost, periods stats.Running
 	var reclaimed int64
 	horizon := l.Horizon()
@@ -77,6 +79,7 @@ func MonteCarloAntitheticObs(policy Policy, l lifefn.Life, c float64, n int, see
 			reclaimed++
 		}
 	}
+	batch.End(float64(2 * n))
 	return MonteCarloResult{
 		Work:      stats.Summarize(&work),
 		Lost:      stats.Summarize(&lost),
@@ -164,21 +167,31 @@ func MonteCarloParallelObs(factory func() Policy, owner Owner, c float64, n int,
 	wg.Wait()
 
 	// Merge in block order: deterministic reduction, for the trace and
-	// metrics as much as for the statistics.
+	// metrics as much as for the statistics. Each block's replay is
+	// framed by an "mc-batch" span on the synthetic coordinator row
+	// (worker -1); its time axis is the episode index, which stays
+	// monotone where the per-episode sim times restart at zero.
 	var work, lost, periods stats.Running
 	var reclaimed int64
 	m := newSimMetrics(o.Metrics, c)
-	emitMerged := o.episodeEmit(0, m)
+	sp := obs.NewSpanner(o.Sink)
 	for b := range results {
 		work.Merge(results[b].work)
 		lost.Merge(results[b].lost)
 		periods.Merge(results[b].periods)
 		reclaimed += results[b].reclaimed
-		for _, e := range results[b].events {
-			if emitMerged != nil {
+		start := b * blockSize
+		count := blockSize
+		if start+count > n {
+			count = n - start
+		}
+		batch := sp.Start(float64(start), -1, "mc-batch", obs.SpanAttrs{Period: b, Tasks: count})
+		if emitMerged := o.episodeEmitIn(0, m, batch); emitMerged != nil {
+			for _, e := range results[b].events {
 				emitMerged(e)
 			}
 		}
+		batch.End(float64(start + count))
 	}
 	if m != nil {
 		m.episodes.Add(uint64(n))

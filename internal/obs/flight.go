@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// FlightRecorder is a bounded ring-buffer sink: it keeps the last N
+// events and drops from the head, counting what it dropped. A 10^7-step
+// farm run stays debuggable without a multi-gigabyte JSONL file — any
+// command can enable it with -flight N and dump the tail on failure or
+// SIGQUIT.
+//
+// Unlike the file sinks, Emit takes a mutex: the dump path (a signal
+// handler or a failure branch) runs on another goroutine, and a flight
+// recorder is opt-in, so the lock is never on an uninstrumented path.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	wrapped bool
+	dropped uint64
+	total   uint64
+}
+
+// DefaultFlightEvents is the ring capacity when -flight is enabled
+// without an explicit size.
+const DefaultFlightEvents = 4096
+
+// NewFlightRecorder returns a recorder keeping the last n events
+// (DefaultFlightEvents when n <= 0).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = DefaultFlightEvents
+	}
+	return &FlightRecorder{buf: make([]Event, n)}
+}
+
+// Emit implements Sink. Once the ring is full, each new event drops the
+// oldest retained one.
+func (f *FlightRecorder) Emit(e Event) {
+	f.mu.Lock()
+	f.total++
+	if f.wrapped {
+		f.dropped++
+	}
+	f.buf[f.next] = e
+	f.next++
+	if f.next == len(f.buf) {
+		f.next = 0
+		f.wrapped = true
+	}
+	f.mu.Unlock()
+}
+
+// Snapshot returns the retained events in emission order plus the count
+// of head-dropped events. The slice is a copy; the recorder keeps
+// running.
+func (f *FlightRecorder) Snapshot() (events []Event, dropped uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.wrapped {
+		events = make([]Event, 0, len(f.buf))
+		events = append(events, f.buf[f.next:]...)
+		events = append(events, f.buf[:f.next]...)
+	} else {
+		events = append([]Event(nil), f.buf[:f.next]...)
+	}
+	return events, f.dropped
+}
+
+// Dropped returns the number of events lost to head-drop so far.
+func (f *FlightRecorder) Dropped() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped
+}
+
+// Total returns the number of events ever emitted to the recorder.
+func (f *FlightRecorder) Total() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// Dump writes the retained tail as JSONL: a header object
+// {"flight":{"kept":K,"dropped":D,"total":T}} followed by one event
+// per line in the JSONLSink encoding, so existing trace tooling reads
+// the dump unchanged.
+func (f *FlightRecorder) Dump(w io.Writer) error {
+	events, dropped := f.Snapshot()
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var buf []byte
+	buf = append(buf, `{"flight":{"kept":`...)
+	buf = strconv.AppendInt(buf, int64(len(events)), 10)
+	buf = append(buf, `,"dropped":`...)
+	buf = strconv.AppendUint(buf, dropped, 10)
+	buf = append(buf, `,"total":`...)
+	buf = strconv.AppendUint(buf, dropped+uint64(len(events)), 10)
+	buf = append(buf, `}}`...)
+	buf = append(buf, '\n')
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+	for _, e := range events {
+		buf = appendEventJSON(buf[:0], e)
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

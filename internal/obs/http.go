@@ -49,6 +49,15 @@ func (r *Registry) PublishExpvar(name string) {
 					"sum":     e.h.Sum(),
 					"buckets": buckets,
 				}
+			case kindQuantile:
+				q := map[string]interface{}{
+					"count": e.q.Count(),
+					"sum":   e.q.Sum(),
+				}
+				for k, v := range e.q.Snapshot() {
+					q[k] = v
+				}
+				out[e.name] = q
 			}
 		}
 		return out
@@ -76,14 +85,16 @@ func NewMux(reg *Registry) *http.ServeMux {
 
 // Server is a running metrics/pprof HTTP server.
 type Server struct {
-	srv *http.Server
-	lis net.Listener
+	srv    *http.Server
+	lis    net.Listener
+	status statusHandler
 }
 
 // Serve starts an HTTP server on addr (e.g. "localhost:9090" or
-// ":0" for an ephemeral port) exposing reg via NewMux. It returns once
-// the listener is bound; serving continues in a background goroutine
-// until Close.
+// ":0" for an ephemeral port) exposing reg via NewMux plus the
+// /debug/csrun run-status endpoint (404 until SetStatus is called). It
+// returns once the listener is bound; serving continues in a background
+// goroutine until Close.
 func Serve(addr string, reg *Registry) (*Server, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -92,9 +103,22 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	if reg != nil {
 		reg.PublishExpvar("metrics")
 	}
-	srv := &http.Server{Handler: NewMux(reg)}
-	go func() { _ = srv.Serve(lis) }()
-	return &Server{srv: srv, lis: lis}, nil
+	s := &Server{lis: lis}
+	mux := NewMux(reg)
+	mux.Handle("/debug/csrun", &s.status)
+	s.srv = &http.Server{Handler: mux}
+	go func() { _ = s.srv.Serve(lis) }()
+	return s, nil
+}
+
+// SetStatus registers the snapshot function behind /debug/csrun. It is
+// nil-safe on both sides (a nil server or nil fn is a no-op), so
+// commands can wire status unconditionally.
+func (s *Server) SetStatus(fn func() RunStatus) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.status.set(fn)
 }
 
 // Addr returns the bound address (useful with ":0").

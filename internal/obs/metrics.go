@@ -117,6 +117,7 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindHistogram
+	kindQuantile
 )
 
 func (k metricKind) String() string {
@@ -127,6 +128,8 @@ func (k metricKind) String() string {
 		return "gauge"
 	case kindHistogram:
 		return "histogram"
+	case kindQuantile:
+		return "summary"
 	default:
 		return "untyped"
 	}
@@ -138,6 +141,7 @@ type entry struct {
 	c    *Counter
 	g    *Gauge
 	h    *Histogram
+	q    *QuantileHist
 }
 
 // Registry holds named metrics. Registration takes a mutex; updates to
@@ -217,6 +221,8 @@ func (r *Registry) lookup(name, help string, kind metricKind) *entry {
 		e.c = &Counter{}
 	case kindGauge:
 		e.g = &Gauge{}
+	case kindQuantile:
+		e.q = &QuantileHist{}
 	}
 	r.entries[name] = e
 	base := baseName(name)
@@ -269,6 +275,14 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	return h
 }
 
+// Quantiles returns the log-bucketed quantile histogram registered
+// under name, creating it on first use. It is exposed in the
+// Prometheus text format as a summary with quantile labels 0.5, 0.9,
+// 0.99 and 0.999, accurate to QuantileHist's fixed relative error.
+func (r *Registry) Quantiles(name, help string) *QuantileHist {
+	return r.lookup(name, help, kindQuantile).q
+}
+
 // snapshot returns the entries sorted by (base name, series name) —
 // the deterministic exposition order.
 func (r *Registry) snapshot() []*entry {
@@ -318,10 +332,23 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(&sb, "%s %s\n", e.name, formatFloat(e.g.Value()))
 		case kindHistogram:
 			writeHistogram(&sb, base, labels, e.h)
+		case kindQuantile:
+			writeQuantiles(&sb, base, labels, e.q)
 		}
 	}
 	_, err := io.WriteString(w, sb.String())
 	return err
+}
+
+func writeQuantiles(sb *strings.Builder, base, labels string, q *QuantileHist) {
+	if q.Count() > 0 {
+		for _, p := range standardQuantiles {
+			fmt.Fprintf(sb, "%s{%squantile=%q} %s\n",
+				base, joinLabels(labels), trimFloat(p), formatFloat(q.Quantile(p)))
+		}
+	}
+	fmt.Fprintf(sb, "%s_sum%s %s\n", base, braced(labels), formatFloat(q.Sum()))
+	fmt.Fprintf(sb, "%s_count%s %d\n", base, braced(labels), q.Count())
 }
 
 func writeHistogram(sb *strings.Builder, base, labels string, h *Histogram) {

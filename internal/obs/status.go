@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+)
+
+// Run-status snapshots: the JSON document a command serves at
+// /debug/csrun (see Server.SetStatus) and csmon renders. The producer
+// (csfarm's status board) assembles a RunStatus on demand from atomic
+// counters and registry reads, so serving a snapshot never blocks the
+// simulation.
+
+// PolicyStatus is one policy's progress within a multi-policy run.
+type PolicyStatus struct {
+	Policy string `json:"policy"`
+	// State is "pending", "running", "done" or "failed".
+	State    string `json:"state"`
+	Episodes uint64 `json:"episodes"`
+	// Committed is the committed work accumulated by this policy's run.
+	Committed float64 `json:"committed_work"`
+	// MeanCommitted is Committed/Episodes — the running E(S;p) estimate.
+	MeanCommitted float64 `json:"mean_committed_per_episode"`
+	TasksDone     int     `json:"tasks_done"`
+	TasksTotal    int     `json:"tasks_total"`
+	Makespan      float64 `json:"makespan,omitempty"`
+	Drained       bool    `json:"drained"`
+}
+
+// RunStatus is the live snapshot of a run.
+type RunStatus struct {
+	// Phase is "starting", "running" or "done".
+	Phase string `json:"phase"`
+	// Policy names the policy currently running, when any.
+	Policy       string  `json:"policy,omitempty"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	EventsTotal  uint64  `json:"events_total"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	TasksTotal   int     `json:"tasks_total,omitempty"`
+	TasksDone    int     `json:"tasks_done,omitempty"`
+	Episodes     uint64  `json:"episodes,omitempty"`
+	// Policies lists per-policy progress in run order.
+	Policies []PolicyStatus `json:"policies,omitempty"`
+	// Quantiles maps metric base name -> {"p50": v, ..., "p999": v},
+	// snapshotted from the registry's QuantileHist series.
+	Quantiles map[string]map[string]float64 `json:"quantiles,omitempty"`
+	// FlightDropped is the flight recorder's head-drop count, when one
+	// is attached.
+	FlightDropped uint64 `json:"flight_dropped,omitempty"`
+}
+
+// QuantileSnapshot collects the standard quantile set of every
+// registered QuantileHist series, keyed by series name — the Quantiles
+// payload of a RunStatus. Empty histograms are skipped.
+func (r *Registry) QuantileSnapshot() map[string]map[string]float64 {
+	out := make(map[string]map[string]float64)
+	for _, e := range r.snapshot() {
+		if e.kind != kindQuantile {
+			continue
+		}
+		if snap := e.q.Snapshot(); snap != nil {
+			out[e.name] = snap
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// CountingSink wraps a sink with an atomic event counter — the
+// events/sec source for live monitoring, readable from the HTTP
+// goroutine while the simulation emits. Next may be nil to count only.
+type CountingSink struct {
+	n    atomic.Uint64
+	Next Sink
+}
+
+// Emit implements Sink.
+func (c *CountingSink) Emit(e Event) {
+	c.n.Add(1)
+	if c.Next != nil {
+		c.Next.Emit(e)
+	}
+}
+
+// Count returns the number of events emitted so far.
+func (c *CountingSink) Count() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// statusHandler serves the current RunStatus as JSON. The status
+// function is swapped atomically, so the mux can be built before the
+// command knows its run shape.
+type statusHandler struct {
+	fn atomic.Value // func() RunStatus
+}
+
+func (h *statusHandler) set(fn func() RunStatus) {
+	if fn != nil {
+		h.fn.Store(fn)
+	}
+}
+
+func (h *statusHandler) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	fn, _ := h.fn.Load().(func() RunStatus)
+	if fn == nil {
+		http.Error(w, "no run status registered", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(fn())
+}

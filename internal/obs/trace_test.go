@@ -102,9 +102,9 @@ func TestChromeSinkValidTraceEvents(t *testing.T) {
 		}
 	}
 	// 1 commit slice + 1 kill slice, 2 instants (steal, voluntary-end),
-	// 2 thread_name metadata records.
-	if slices != 2 || instants != 2 || meta != 2 {
-		t.Errorf("got %d slices, %d instants, %d metadata; want 2, 2, 2\n%s",
+	// 1 process_name plus thread_name and thread_sort_index per worker.
+	if slices != 2 || instants != 2 || meta != 5 {
+		t.Errorf("got %d slices, %d instants, %d metadata; want 2, 2, 5\n%s",
 			slices, instants, meta, buf.String())
 	}
 }
