@@ -58,6 +58,116 @@ func TestStandaloneClean(t *testing.T) {
 	}
 }
 
+// TestStandaloneCrossPackageFacts checks that the standalone driver
+// carries flow summaries dependency-first: the raw subtraction lives in
+// facts/work, the finding surfaces at the call in facts/nowsim.
+func TestStandaloneCrossPackageFacts(t *testing.T) {
+	code, out, _ := runLint(t, filepath.Join("testdata", "facts"), "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "hides a raw work subtraction") || !strings.Contains(out, "[nonnegwork]") {
+		t.Errorf("output missing the interprocedural nonnegwork finding:\n%s", out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, out, _ := runLint(t, filepath.Join("testdata", "dirty"), "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("-json output is not a diagnostic array: %v\n%s", err, out)
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json produced an empty array on the dirty fixture")
+	}
+	seen := make(map[string]bool)
+	for _, d := range diags {
+		if d.File == "" || d.Line <= 0 || d.Col <= 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("diagnostic with missing fields: %+v", d)
+		}
+		if filepath.IsAbs(d.File) {
+			t.Errorf("diagnostic file %q not relative to the working directory", d.File)
+		}
+		seen[d.Analyzer] = true
+	}
+	if !seen["floatcmp"] || !seen["printlint"] {
+		t.Errorf("-json diagnostics missing expected analyzers: %v", seen)
+	}
+
+	// A clean tree must still emit valid JSON: an empty array, exit 0.
+	code, out, _ = runLint(t, filepath.Join("testdata", "clean"), "-json", "./...")
+	if code != 0 {
+		t.Fatalf("clean -json exit = %d, want 0\n%s", code, out)
+	}
+	if strings.TrimSpace(out) != "[]" {
+		t.Errorf("clean -json output = %q, want []", out)
+	}
+}
+
+func TestBaseline(t *testing.T) {
+	bl := filepath.Join(t.TempDir(), "lint-baseline.json")
+
+	// Recording the baseline exits 0 regardless of findings.
+	code, out, errout := runLint(t, filepath.Join("testdata", "dirty"), "-baseline", bl, "-write-baseline", "./...")
+	if code != 0 {
+		t.Fatalf("-write-baseline exit = %d, want 0\nstdout: %s\nstderr: %s", code, out, errout)
+	}
+
+	// With the fresh baseline every finding is suppressed.
+	code, out, _ = runLint(t, filepath.Join("testdata", "dirty"), "-baseline", bl, "./...")
+	if code != 0 {
+		t.Fatalf("baselined run exit = %d, want 0\n%s", code, out)
+	}
+	if out != "" {
+		t.Errorf("baselined run still reported findings:\n%s", out)
+	}
+
+	// Dropping one entry makes exactly that finding "new" again.
+	data, err := os.ReadFile(bl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bf struct {
+		Findings []json.RawMessage `json:"findings"`
+	}
+	if err := json.Unmarshal(data, &bf); err != nil {
+		t.Fatalf("baseline is not valid JSON: %v\n%s", err, data)
+	}
+	if len(bf.Findings) < 2 {
+		t.Fatalf("baseline recorded %d findings, want >= 2", len(bf.Findings))
+	}
+	bf.Findings = bf.Findings[1:]
+	trimmed, err := json.Marshal(bf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bl, trimmed, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ = runLint(t, filepath.Join("testdata", "dirty"), "-baseline", bl, "./...")
+	if code != 1 {
+		t.Fatalf("run with trimmed baseline exit = %d, want 1\n%s", code, out)
+	}
+	if n := strings.Count(strings.TrimSpace(out), "\n") + 1; n != 1 {
+		t.Errorf("trimmed baseline surfaced %d findings, want exactly 1:\n%s", n, out)
+	}
+
+	// A missing baseline file is a usage error, not silence.
+	code, _, errout = runLint(t, filepath.Join("testdata", "dirty"), "-baseline", bl+".missing", "./...")
+	if code != 2 {
+		t.Fatalf("missing baseline exit = %d, want 2\n%s", code, errout)
+	}
+}
+
 func TestAnalyzerToggle(t *testing.T) {
 	// Disabling both triggered analyzers must turn the dirty fixture clean.
 	code, out, _ := runLint(t, filepath.Join("testdata", "dirty"),
@@ -142,5 +252,12 @@ func TestVettool(t *testing.T) {
 	}
 	if code, out := vet(filepath.Join("testdata", "clean")); code != 0 {
 		t.Errorf("go vet -vettool on clean fixture exited %d\n%s", code, out)
+	}
+	// The facts fixture only fires if flow summaries round-trip through
+	// the .vetx files cmd/go passes between per-package invocations.
+	if code, out := vet(filepath.Join("testdata", "facts")); code == 0 {
+		t.Errorf("go vet -vettool on facts fixture exited 0 (vetx facts not propagated?)\n%s", out)
+	} else if !strings.Contains(out, "hides a raw work subtraction") {
+		t.Errorf("go vet -vettool output missing the interprocedural finding:\n%s", out)
 	}
 }

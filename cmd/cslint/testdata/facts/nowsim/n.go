@@ -1,0 +1,11 @@
+// Package nowsim triggers the interprocedural nonnegwork finding: the
+// raw subtraction lives in the dependency, so only cross-package facts
+// can surface it here.
+package nowsim
+
+import "facts/work"
+
+// Use hides a raw work subtraction behind the dependency call.
+func Use(t, c float64) float64 {
+	return work.Budget(t, c)
+}

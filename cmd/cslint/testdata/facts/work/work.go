@@ -1,0 +1,8 @@
+// Package work is clean on its own (not a guarded simulator package)
+// but exports a flow summary recording the raw subtraction, which the
+// driver must carry to importers — in-process standalone and through
+// .vetx files under go vet.
+package work
+
+// Budget returns the raw, sign-preserving difference.
+func Budget(t, c float64) float64 { return t - c }

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const allowSrc = `package p
+
+func trailing() {
+	_ = 1 //lint:allow alpha exact comparison intended
+}
+
+func above() {
+	//lint:allow beta plateau detection
+	_ = 2
+}
+
+func multi() {
+	//lint:allow alpha,beta shared justification
+	_ = 3
+}
+
+func spaced() {
+	//lint:allow   gamma   leading whitespace around fields
+	_ = 4
+}
+
+func catchall() {
+	//lint:allow all everything on this line is fine
+	_ = 5
+}
+
+func bare() {
+	//lint:allow
+	_ = 6
+}
+
+func unrelated() {
+	// lint:allow is discussed here but the marker needs to lead
+	_ = 7
+}
+`
+
+// allowLine returns the position of the statement on the given
+// 1-indexed line of allowSrc.
+func posOnLine(t *testing.T, fset *token.FileSet, f *ast.File, line int) token.Pos {
+	t.Helper()
+	var found token.Pos
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || found != token.NoPos {
+			return false
+		}
+		if _, ok := n.(*ast.AssignStmt); ok && fset.Position(n.Pos()).Line == line {
+			found = n.Pos()
+			return false
+		}
+		return true
+	})
+	if found == token.NoPos {
+		t.Fatalf("no assignment on line %d", line)
+	}
+	return found
+}
+
+func TestCollectSuppressions(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow.go", allowSrc, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := CollectSuppressions(fset, []*ast.File{f})
+
+	cases := []struct {
+		name     string
+		line     int
+		analyzer string
+		want     bool
+	}{
+		// Trailing style: the directive shares the finding's line.
+		{"trailing same analyzer", 4, "alpha", true},
+		{"trailing other analyzer", 4, "beta", false},
+
+		// Line-above style: the directive is on the preceding line.
+		{"above same analyzer", 9, "beta", true},
+		{"above other analyzer", 9, "alpha", false},
+
+		// Multi-analyzer directive: both names apply, others do not.
+		{"multi first name", 14, "alpha", true},
+		{"multi second name", 14, "beta", true},
+		{"multi unnamed analyzer", 14, "gamma", false},
+
+		// Extra whitespace between fields must not break parsing.
+		{"whitespace tolerated", 19, "gamma", true},
+
+		// "all" suppresses any analyzer at that line.
+		{"all catches alpha", 24, "alpha", true},
+		{"all catches gamma", 24, "gamma", true},
+
+		// A bare marker with no analyzer list suppresses nothing.
+		{"bare directive", 29, "alpha", false},
+
+		// Prose mentioning lint:allow mid-comment is not a directive.
+		{"mid-comment mention", 34, "alpha", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pos := posOnLine(t, fset, f, tc.line)
+			if got := sup.Allowed(fset, pos, tc.analyzer); got != tc.want {
+				t.Errorf("Allowed(line %d, %q) = %v, want %v", tc.line, tc.analyzer, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSuppressionDoesNotLeakDownward pins the coverage window: a
+// directive covers its own line and the one below, never further.
+func TestSuppressionDoesNotLeakDownward(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:allow alpha only the next line
+	_ = 1
+	_ = 2
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "leak.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := CollectSuppressions(fset, []*ast.File{f})
+	if !sup.Allowed(fset, posOnLine(t, fset, f, 5), "alpha") {
+		t.Error("line directly below the directive not suppressed")
+	}
+	if sup.Allowed(fset, posOnLine(t, fset, f, 6), "alpha") {
+		t.Error("suppression leaked two lines below the directive")
+	}
+}

@@ -63,11 +63,49 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+
+	session *Session
+	shared  map[string]sharedEntry
+}
+
+type sharedEntry struct {
+	val interface{}
+	err error
 }
 
 // Reportf reports a formatted diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Facts returns the facts blob exported under namespace ns by an
+// earlier analysis of the package at path (an import of this one), or
+// nil when the run has no session or the package exported none.
+func (p *Pass) Facts(path, ns string) []byte {
+	return p.session.Facts(path, ns)
+}
+
+// ExportFacts records this package's facts blob under namespace ns for
+// later packages in the session (and for vetx serialization in the vet
+// driver). Facts are keyed by the package's import path with build
+// variant decorations intact; importers look packages up by the plain
+// path types.Package.Path() reports, which matches for everything an
+// importer can actually name.
+func (p *Pass) ExportFacts(ns string, data []byte) {
+	p.session.SetFacts(p.Pkg.Path(), ns, data)
+}
+
+// Shared memoizes an expensive per-package computation (for example the
+// flow engine's call graph and summaries) across the analyzers of one
+// RunAnalyzers call: the first analyzer to ask builds, the rest reuse.
+// The key names the computation; build runs at most once per package.
+func (p *Pass) Shared(key string, build func() (interface{}, error)) (interface{}, error) {
+	if e, ok := p.shared[key]; ok {
+		return e.val, e.err
+	}
+	val, err := build()
+	p.shared[key] = sharedEntry{val, err}
+	return val, err
 }
 
 // PkgBase returns the last element of a package path with build-variant
@@ -102,9 +140,19 @@ func (f Finding) String() string {
 // returns the survivors sorted by position. It is the single execution
 // path shared by the standalone driver, the vet-tool driver and the
 // golden-test harness, so suppression and ordering cannot drift between
-// them.
+// them. The session (which may be nil) supplies facts from already
+// analyzed dependencies and receives this package's exports; drivers
+// analyzing multiple packages pass one session, ordered
+// dependency-first (load.Sort), so interprocedural analyses see their
+// callees' summaries.
 func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
+	return (*Session)(nil).Run(fset, files, pkg, info, analyzers)
+}
+
+// Run is RunAnalyzers with cross-package facts carried by the session.
+func (s *Session) Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
 	sup := CollectSuppressions(fset, files)
+	shared := make(map[string]sharedEntry)
 	var out []Finding
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -113,6 +161,8 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
+			session:   s,
+			shared:    shared,
 		}
 		name := a.Name
 		pass.Report = func(d Diagnostic) {

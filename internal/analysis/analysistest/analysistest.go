@@ -54,8 +54,12 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string
 	if err != nil {
 		t.Fatalf("loading fixtures: %v", err)
 	}
-	for _, pkg := range pkgs {
-		findings, err := analysis.RunAnalyzers(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, []*analysis.Analyzer{a})
+	// Analyze dependency-first with one session so interprocedural
+	// analyzers see facts for fixture packages that depend on each
+	// other, exactly as the real drivers provide them.
+	sess := analysis.NewSession()
+	for _, pkg := range load.Sort(pkgs) {
+		findings, err := sess.Run(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, []*analysis.Analyzer{a})
 		if err != nil {
 			t.Fatalf("%s: %v", pkg.ImportPath, err)
 		}

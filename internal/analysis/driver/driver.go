@@ -2,7 +2,10 @@
 // One binary serves two callers:
 //
 //   - Standalone: `cslint ./...` loads packages from source with the
-//     in-repo loader, prints findings to stdout and exits 1 if any.
+//     in-repo loader (dependency-first, so interprocedural facts flow),
+//     prints findings to stdout and exits 1 if any. -json switches to
+//     machine-readable output; -baseline/-write-baseline suppress or
+//     record pre-existing findings.
 //   - Vet tool: `go vet -vettool=cslint ./...` — cmd/go probes the tool
 //     with -V=full and -flags, then invokes it once per package with a
 //     JSON config file (handled by internal/analysis/unit).
@@ -15,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
@@ -35,6 +40,9 @@ func Main(argv []string, stdout, stderr io.Writer, analyzers []*analysis.Analyze
 	fs.SetOutput(stderr)
 	version := fs.String("V", "", "print version and exit (go vet protocol)")
 	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON (go vet protocol)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (standalone mode)")
+	baseline := fs.String("baseline", "", "suppress findings recorded in this baseline file (standalone mode)")
+	writeBaseline := fs.Bool("write-baseline", false, "write current findings to the -baseline file (default lint-baseline.json) and exit 0")
 	enabled := make(map[string]*bool, len(analyzers))
 	for _, a := range analyzers {
 		doc := a.Doc
@@ -101,12 +109,53 @@ func Main(argv []string, stdout, stderr io.Writer, analyzers []*analysis.Analyze
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		return unit.Run(args[0], active, stderr)
 	}
-	return runStandalone(args, active, stdout, stderr)
+	opts := standaloneOpts{
+		json:          *jsonOut,
+		baseline:      *baseline,
+		writeBaseline: *writeBaseline,
+	}
+	return runStandalone(args, active, opts, stdout, stderr)
 }
 
-// runStandalone loads the named packages (default ./...) from source
-// and prints findings to stdout.
-func runStandalone(patterns []string, analyzers []*analysis.Analyzer, stdout, stderr io.Writer) int {
+type standaloneOpts struct {
+	json          bool
+	baseline      string
+	writeBaseline bool
+}
+
+// jsonDiag is one finding in -json output: the documented, stable
+// machine-readable schema for editors and CI.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// baselineEntry is one suppressed finding class in a baseline file.
+// Line numbers are deliberately absent: a baseline must survive
+// unrelated edits, so findings are matched by file, analyzer and
+// message, up to Count occurrences each.
+type baselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+type baselineFile struct {
+	Findings []baselineEntry `json:"findings"`
+}
+
+func baselineKey(file, analyzer, message string) string {
+	return file + "\x00" + analyzer + "\x00" + message
+}
+
+// runStandalone loads the named packages (default ./...) from source,
+// analyzes them dependency-first under one session, and reports
+// findings that survive the baseline.
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer, opts standaloneOpts, stdout, stderr io.Writer) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -121,20 +170,128 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer, stdout, st
 		fmt.Fprintln(stderr, "cslint:", err)
 		return 1
 	}
-	found := false
-	for _, pkg := range pkgs {
-		findings, err := analysis.RunAnalyzers(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, analyzers)
+	sess := analysis.NewSession()
+	var all []analysis.Finding
+	for _, pkg := range load.Sort(pkgs) {
+		findings, err := sess.Run(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, analyzers)
 		if err != nil {
 			fmt.Fprintln(stderr, "cslint:", err)
 			return 2
 		}
-		for _, f := range findings {
-			found = true
+		all = append(all, findings...)
+	}
+	// Paths in output and baselines are repo-relative so baselines are
+	// portable across checkouts.
+	for i := range all {
+		if rel, err := filepath.Rel(dir, all[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			all[i].Pos.Filename = rel
+		}
+	}
+
+	if opts.writeBaseline {
+		path := opts.baseline
+		if path == "" {
+			path = "lint-baseline.json"
+		}
+		if err := writeBaselineFile(path, all); err != nil {
+			fmt.Fprintln(stderr, "cslint:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "cslint: wrote %d finding(s) to %s\n", len(all), path)
+		return 0
+	}
+	if opts.baseline != "" {
+		remaining, err := applyBaseline(opts.baseline, all)
+		if err != nil {
+			fmt.Fprintln(stderr, "cslint:", err)
+			return 2
+		}
+		all = remaining
+	}
+
+	if opts.json {
+		diags := make([]jsonDiag, 0, len(all))
+		for _, f := range all {
+			diags = append(diags, jsonDiag{
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "cslint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range all {
 			fmt.Fprintln(stdout, f)
 		}
 	}
-	if found {
+	if len(all) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// writeBaselineFile records findings as a deterministic baseline.
+func writeBaselineFile(path string, findings []analysis.Finding) error {
+	counts := make(map[string]*baselineEntry)
+	for _, f := range findings {
+		k := baselineKey(f.Pos.Filename, f.Analyzer, f.Message)
+		if e, ok := counts[k]; ok {
+			e.Count++
+			continue
+		}
+		counts[k] = &baselineEntry{File: f.Pos.Filename, Analyzer: f.Analyzer, Message: f.Message, Count: 1}
+	}
+	bf := baselineFile{Findings: make([]baselineEntry, 0, len(counts))}
+	for _, e := range counts {
+		bf.Findings = append(bf.Findings, *e)
+	}
+	sort.Slice(bf.Findings, func(i, j int) bool {
+		a, b := bf.Findings[i], bf.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
+}
+
+// applyBaseline drops findings recorded in the baseline file, matching
+// by file/analyzer/message with per-class counts.
+func applyBaseline(path string, findings []analysis.Finding) ([]analysis.Finding, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %v", err)
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %v", path, err)
+	}
+	budget := make(map[string]int, len(bf.Findings))
+	for _, e := range bf.Findings {
+		budget[baselineKey(e.File, e.Analyzer, e.Message)] += e.Count
+	}
+	var out []analysis.Finding
+	for _, f := range findings {
+		k := baselineKey(f.Pos.Filename, f.Analyzer, f.Message)
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		out = append(out, f)
+	}
+	return out, nil
 }

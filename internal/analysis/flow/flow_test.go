@@ -1,0 +1,295 @@
+package flow_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/flow"
+)
+
+// probe runs the flow engine over src (one file, package p) inside a
+// session and returns the resulting Info.
+func probe(t *testing.T, sess *analysis.Session, path, src string, imp types.Importer) (*flow.Info, *types.Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path+".go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	var got *flow.Info
+	an := &analysis.Analyzer{
+		Name: "probe",
+		Doc:  "captures flow info",
+		Run: func(pass *analysis.Pass) error {
+			in, err := flow.Of(pass)
+			if err != nil {
+				return err
+			}
+			got = in
+			return nil
+		},
+	}
+	if _, err := sess.Run(fset, []*ast.File{file}, pkg, info, []*analysis.Analyzer{an}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got == nil {
+		t.Fatal("probe analyzer did not run")
+	}
+	return got, pkg
+}
+
+func summaryOf(t *testing.T, in *flow.Info, pkg *types.Package, name string) flow.FuncSummary {
+	t.Helper()
+	obj := pkg.Scope().Lookup(name)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		t.Fatalf("no function %q in %s", name, pkg.Path())
+	}
+	sum, ok := in.SummaryOf(fn)
+	if !ok {
+		t.Fatalf("no summary for %q", name)
+	}
+	return sum
+}
+
+const engineSrc = `package p
+
+func reader(x int) int { return x + 1 }
+
+func ret(x int) int { return x }
+
+func sub(t, c float64) float64 { return t - c }
+
+func wrapSub(t, c float64) float64 { return sub(t, c) }
+
+func swapSub(t, c float64) float64 { return sub(c, t) }
+
+func setv(p *int) { *p = 1 }
+
+func spawnWrite(p *int) {
+	go func() { *p = 2 }()
+}
+
+func goCall(p *int) {
+	go setv(p)
+}
+
+func spawnRead(p *int) {
+	go func() { _ = *p }()
+}
+
+func viaWrapper(p *int) {
+	spawnWrite(p)
+}
+
+func send(ch chan int, x int) { ch <- x }
+
+func store(x int) {
+	var s struct{ v int }
+	s.v = x
+	_ = s
+}
+
+var sink int
+
+func globalStore(x int) { sink = x }
+
+func dyn(f func(int), x int) { f(x) }
+
+func loops() {
+	done := make(chan bool)
+	for i := 0; i < 4; i++ {
+		go func() { done <- true }()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+}
+`
+
+func TestSummaries(t *testing.T) {
+	in, pkg := probe(t, analysis.NewSession(), "p", engineSrc, nil)
+
+	check := func(fn string, i int, want flow.ParamFlow) {
+		t.Helper()
+		got := summaryOf(t, in, pkg, fn).Params
+		if i >= len(got) {
+			t.Fatalf("%s: param %d out of range (%d params)", fn, i, len(got))
+		}
+		if got[i] != want {
+			t.Errorf("%s param %d = %v, want %v", fn, i, got[i], want)
+		}
+	}
+
+	check("reader", 0, flow.UsedDirect)
+	check("ret", 0, flow.UsedDirect|flow.FlowsToReturn)
+	check("setv", 0, flow.UsedDirect|flow.WrittenDirect)
+	check("spawnWrite", 0, flow.ReachesGoroutine|flow.WrittenInGoroutine)
+	check("goCall", 0, flow.ReachesGoroutine|flow.WrittenInGoroutine)
+	check("spawnRead", 0, flow.ReachesGoroutine)
+	// Wrapper chains propagate through the fixpoint.
+	check("viaWrapper", 0, flow.ReachesGoroutine|flow.WrittenInGoroutine)
+	check("send", 1, flow.UsedDirect|flow.SentToChannel)
+	check("store", 0, flow.UsedDirect|flow.StoredToHeap)
+	check("globalStore", 0, flow.UsedDirect|flow.StoredToHeap)
+	// A function-value call is unresolvable: the argument escapes.
+	check("dyn", 1, flow.UsedDirect|flow.EscapesUnknown)
+}
+
+func TestRawSubs(t *testing.T) {
+	in, pkg := probe(t, analysis.NewSession(), "p", engineSrc, nil)
+
+	for _, tc := range []struct {
+		fn   string
+		want flow.RawSub
+	}{
+		{"sub", flow.RawSub{X: 0, Y: 1}},
+		{"wrapSub", flow.RawSub{X: 0, Y: 1}},
+		{"swapSub", flow.RawSub{X: 1, Y: 0}},
+	} {
+		subs := summaryOf(t, in, pkg, tc.fn).RawSubs
+		if len(subs) != 1 || subs[0] != tc.want {
+			t.Errorf("%s RawSubs = %v, want [%v]", tc.fn, subs, tc.want)
+		}
+	}
+	if subs := summaryOf(t, in, pkg, "reader").RawSubs; len(subs) != 0 {
+		t.Errorf("reader RawSubs = %v, want none", subs)
+	}
+}
+
+func TestSpawnsAndLoopVars(t *testing.T) {
+	in, _ := probe(t, analysis.NewSession(), "p", engineSrc, nil)
+	var fi *flow.FuncInfo
+	for _, f := range in.Funcs {
+		if f.Obj.Name() == "loops" {
+			fi = f
+		}
+	}
+	if fi == nil {
+		t.Fatal("no FuncInfo for loops")
+	}
+	if len(fi.Spawns) != 1 || !fi.Spawns[0].InLoop {
+		t.Fatalf("loops: want one in-loop spawn, got %+v", fi.Spawns)
+	}
+	var loopI *types.Var
+	// Find the first loop's i via its position inside the function.
+	for id, obj := range in.TypesInfo.Defs {
+		v, ok := obj.(*types.Var)
+		if ok && id.Name == "i" && v.Pos() > fi.Decl.Pos() && v.Pos() < fi.Decl.End() {
+			loopI = v
+			break
+		}
+	}
+	if loopI == nil {
+		t.Fatal("loop variable i not found")
+	}
+	if !fi.IsLoopVar(loopI) {
+		t.Error("IsLoopVar(i) = false, want true")
+	}
+	// The receive in the drain loop is a barrier after the spawn.
+	if !fi.BarrierBetween(fi.Spawns[0].Go.Pos(), fi.Decl.End()) {
+		t.Error("no barrier found between spawn and function end")
+	}
+}
+
+// importerFor resolves one pre-checked package and delegates the rest.
+type importerFor struct {
+	path string
+	pkg  *types.Package
+}
+
+func (im importerFor) Import(path string) (*types.Package, error) {
+	if path == im.path {
+		return im.pkg, nil
+	}
+	return importer.Default().Import(path)
+}
+
+func TestCrossPackageFacts(t *testing.T) {
+	sess := analysis.NewSession()
+	inA, pkgA := probe(t, sess, "fixa", `package fixa
+
+func Sub(t, c float64) float64 { return t - c }
+
+func Pump(p *int) { go func() { *p = 1 }() }
+`, nil)
+	if _, ok := inA.SummaryOf(pkgA.Scope().Lookup("Sub").(*types.Func)); !ok {
+		t.Fatal("fixa.Sub has no local summary")
+	}
+
+	inB, pkgB := probe(t, sess, "fixb", `package fixb
+
+import "fixa"
+
+func Wrap(t, c float64) float64 { return fixa.Sub(t, c) }
+
+func Spawn(p *int) { fixa.Pump(p) }
+`, importerFor{"fixa", pkgA})
+
+	wrap := summaryOf(t, inB, pkgB, "Wrap")
+	if len(wrap.RawSubs) != 1 || wrap.RawSubs[0] != (flow.RawSub{X: 0, Y: 1}) {
+		t.Errorf("Wrap RawSubs = %v, want [{0 1}]", wrap.RawSubs)
+	}
+	spawn := summaryOf(t, inB, pkgB, "Spawn")
+	want := flow.ReachesGoroutine | flow.WrittenInGoroutine
+	if spawn.Params[0] != want {
+		t.Errorf("Spawn param 0 = %v, want %v", spawn.Params[0], want)
+	}
+
+	// Without the session, the callee is opaque: conservative escape.
+	inC, pkgC := probe(t, analysis.NewSession(), "fixc", `package fixc
+
+import "fixa"
+
+func Spawn(p *int) { fixa.Pump(p) }
+`, importerFor{"fixa", pkgA})
+	sum := summaryOf(t, inC, pkgC, "Spawn")
+	if sum.Params[0]&flow.EscapesUnknown == 0 {
+		t.Errorf("sessionless Spawn param 0 = %v, want EscapesUnknown set", sum.Params[0])
+	}
+}
+
+func TestSummaryEncodeRoundTrip(t *testing.T) {
+	s := flow.Summaries{
+		"p.f": {Params: []flow.ParamFlow{flow.UsedDirect | flow.ReachesGoroutine}},
+		"p.g": {RawSubs: []flow.RawSub{{X: 0, Y: 1}}},
+	}
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Error("Encode is not deterministic")
+	}
+	back, err := flow.DecodeSummaries(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back["p.g"].RawSubs[0] != (flow.RawSub{X: 0, Y: 1}) {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+	if empty, err := flow.DecodeSummaries(nil); err != nil || len(empty) != 0 {
+		t.Errorf("DecodeSummaries(nil) = %v, %v", empty, err)
+	}
+}

@@ -1,0 +1,241 @@
+// Package goroutinecap flags mutable state shared with goroutines
+// without synchronization discipline: a variable captured by a
+// go-closure (or handed to a helper whose flow summary says it is
+// written in a goroutine the helper spawns) while other goroutines —
+// including the spawner — can still touch it.
+//
+// Blessed disciplines the analyzer recognizes and stays silent on:
+//   - channel, sync.* and sync/atomic-typed state (including accesses
+//     through sync/atomic calls and atomic.Int64-style methods);
+//   - partitioned writes base[i] where the index is goroutine-local or
+//     a per-iteration loop variable, the disjoint-slot reducer idiom;
+//   - spawner access separated from the goroutine by a barrier — a
+//     WaitGroup.Wait or a channel receive between the spawn and the
+//     access;
+//   - helpers whose summary joins every goroutine they spawn before
+//     returning (synchronous from the caller's point of view).
+//
+// Known blind spot, chosen deliberately: mutation hidden behind a
+// pointer-receiver method call on a captured value counts as a read
+// (the engine does not model receiver mutation), so a method-based
+// race can pass. The -race CI job backstops that side.
+package goroutinecap
+
+import (
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/flow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutinecap",
+	Doc:  "flag mutable state captured by goroutines without atomic/mutex/channel discipline",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	in, err := flow.Of(pass)
+	if err != nil {
+		return err
+	}
+	for _, fi := range in.Funcs {
+		checkFunc(pass, in, fi)
+	}
+	return nil
+}
+
+// disciplined reports whether t is a type whose sharing is already
+// mediated: channels, sync.* and sync/atomic types (behind any number
+// of pointers).
+func disciplined(t types.Type) bool {
+	for {
+		p, ok := t.Underlying().(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && (pkg.Path() == "sync" || pkg.Path() == "sync/atomic")
+}
+
+// writerSite is one place v is written by a goroutine: a spawned
+// literal that writes it, or a call whose summary writes it in a
+// goroutine that outlives the call.
+type writerSite struct {
+	pos, end token.Pos
+	inLoop   bool
+	spawn    *flow.Spawn // nil for call sites
+}
+
+func checkFunc(pass *analysis.Pass, in *flow.Info, fi *flow.FuncInfo) {
+	var vars []*types.Var
+	seen := make(map[*types.Var]bool)
+	for _, u := range fi.Uses {
+		if !seen[u.Var] {
+			seen[u.Var] = true
+			vars = append(vars, u.Var)
+		}
+	}
+	for _, v := range vars {
+		if disciplined(v.Type()) {
+			continue
+		}
+		home := fi.HomeSpawn(v)
+		uses := fi.UsesOf(v)
+
+		if fi.IsLoopVar(v) {
+			// Per-iteration semantics make captured loop variables safe
+			// to read; a write from the goroutine mutates only this
+			// iteration's copy, which is almost certainly a bug.
+			for _, u := range uses {
+				if u.Spawn != home && u.Spawn != nil && u.Write && !u.Atomic {
+					pass.Reportf(u.Pos,
+						"write to loop variable %q inside a goroutine mutates only this iteration's copy; send the result on a channel or write a per-worker slot instead",
+						v.Name())
+					break
+				}
+			}
+			continue
+		}
+
+		spawnUses := make(map[*flow.Spawn][]*flow.Use)
+		var outer []*flow.Use
+		for _, u := range uses {
+			if u.Spawn != home && u.Spawn != nil {
+				spawnUses[u.Spawn] = append(spawnUses[u.Spawn], u)
+			} else {
+				outer = append(outer, u)
+			}
+		}
+
+		var writers []writerSite
+		for _, s := range fi.Spawns {
+			for _, u := range spawnUses[s] {
+				if goroutineWrite(in, fi, u, s) {
+					writers = append(writers, writerSite{pos: s.Go.Pos(), end: s.Go.End(), inLoop: s.InLoopFor(v), spawn: s})
+					break
+				}
+			}
+		}
+		var plain []*flow.Use
+		for _, u := range outer {
+			if u.Arg != nil && u.Arg.Index >= 0 {
+				if sum, ok := in.SummaryOf(u.Arg.Site.Callee); ok {
+					if !sum.Joins && sum.Param(u.Arg.Index)&flow.WrittenInGoroutine != 0 {
+						site := u.Arg.Site
+						writers = append(writers, writerSite{pos: site.Call.Pos(), end: site.Call.End(), inLoop: site.InLoopFor(v)})
+						continue
+					}
+					// Joined or read-only callees behave synchronously.
+				}
+			}
+			plain = append(plain, u)
+		}
+
+		switch {
+		case len(writers) == 0:
+			// Reads in a goroutine racing a later spawner write.
+			for _, s := range fi.Spawns {
+				if len(spawnUses[s]) == 0 {
+					continue
+				}
+				for _, u := range plain {
+					if u.Write && !u.Atomic && u.Pos > s.Go.End() && !fi.BarrierBetween(s.Go.End(), u.Pos) {
+						pass.Reportf(u.Pos,
+							"%q is written here while a goroutine spawned earlier reads it, with no barrier between: synchronize or hand the value over a channel",
+							v.Name())
+						break
+					}
+				}
+			}
+		case writersInLoop(writers) != nil:
+			w := writersInLoop(writers)
+			pass.Reportf(w.pos,
+				"%q is written by goroutines spawned in a loop without synchronization: every worker races on it; use per-worker slots, a channel, or sync/atomic",
+				v.Name())
+		case len(writers) >= 2:
+			pass.Reportf(writers[1].pos,
+				"%q is written by %d goroutine sites without synchronization: use per-worker slots, a channel, or sync/atomic",
+				v.Name(), len(writers))
+		default:
+			w := writers[0]
+			// Another goroutine touching it concurrently.
+			reported := false
+			for _, s := range fi.Spawns {
+				if s == w.spawn || len(spawnUses[s]) == 0 {
+					continue
+				}
+				lo, hi := w.end, s.Go.Pos()
+				if hi < lo {
+					lo, hi = s.Go.End(), w.pos
+				}
+				if !fi.BarrierBetween(lo, hi) {
+					pass.Reportf(max(w.pos, s.Go.Pos()),
+						"%q is accessed by multiple goroutines without synchronization: one of them writes it",
+						v.Name())
+					reported = true
+					break
+				}
+			}
+			if reported {
+				break
+			}
+			// The spawner touching it while the writer may still run.
+			for _, u := range plain {
+				if u.Pos > w.pos && !fi.BarrierBetween(w.end, u.Pos) {
+					pass.Reportf(u.Pos,
+						"%q is accessed here while a goroutine that writes it may still be running: wait on the WaitGroup or receive from the channel first",
+						v.Name())
+					break
+				}
+			}
+		}
+	}
+}
+
+func writersInLoop(ws []writerSite) *writerSite {
+	for i := range ws {
+		if ws[i].inLoop {
+			return &ws[i]
+		}
+	}
+	return nil
+}
+
+// goroutineWrite reports whether use u (inside spawn s) mutates shared
+// state: a direct non-atomic, non-partitioned write, or an argument
+// handoff to a callee that writes it.
+func goroutineWrite(in *flow.Info, fi *flow.FuncInfo, u *flow.Use, s *flow.Spawn) bool {
+	if u.Write && !u.Atomic {
+		if u.Part != nil && privateIndex(fi, u.Part.Index, s) {
+			return false
+		}
+		return true
+	}
+	if u.Arg != nil && u.Arg.Index >= 0 {
+		if fl, ok := in.ArgFlow(u.Arg.Site, u.Arg.Index); ok {
+			return fl&(flow.WrittenDirect|flow.WrittenInGoroutine) != 0
+		}
+	}
+	return false
+}
+
+// privateIndex reports whether the partition index is private to the
+// goroutine or iteration: declared inside the spawned literal, or a
+// per-iteration loop variable.
+func privateIndex(fi *flow.FuncInfo, idx *types.Var, s *flow.Spawn) bool {
+	if fi.IsLoopVar(idx) {
+		return true
+	}
+	return fi.HomeSpawn(idx) == s
+}

@@ -1,0 +1,12 @@
+package goroutinecap_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/goroutinecap"
+)
+
+func TestGoroutineCap(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), goroutinecap.Analyzer, "gcap")
+}

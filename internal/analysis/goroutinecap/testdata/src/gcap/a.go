@@ -1,0 +1,168 @@
+// Fixture for the goroutinecap analyzer: mutable state shared with
+// goroutines must use atomic/mutex/channel discipline.
+package gcap
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// True positive: a plain counter incremented by every worker.
+func counterRace(n int) int {
+	count := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // want "written by goroutines spawned in a loop"
+			defer wg.Done()
+			count++
+		}()
+	}
+	wg.Wait()
+	return count
+}
+
+// True positive: two goroutines write the same variable.
+func twoWriters() int {
+	n := 0
+	done := make(chan bool)
+	go func() { n = 1; done <- true }()
+	go func() { n = 2; done <- true }() // want "written by 2 goroutine sites"
+	<-done
+	<-done
+	return n
+}
+
+// True positive: the spawner reads before the writing goroutine is
+// known to be done.
+func readWhileRunning() int {
+	n := 0
+	done := make(chan bool)
+	go func() { n = 42; done <- true }()
+	m := n // want "while a goroutine that writes it may still be running"
+	<-done
+	return m
+}
+
+// True positive: writing the per-iteration loop variable from the
+// goroutine changes only this iteration's copy.
+func loopVarWrite() {
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			i = i * 2 // want "loop variable \"i\" inside a goroutine"
+		}()
+	}
+	wg.Wait()
+}
+
+// addAsync spawns a goroutine that writes *p and does not join it;
+// callers inherit the hazard through its flow summary.
+func addAsync(p *int, done chan bool) {
+	go func() {
+		*p++
+		done <- true
+	}()
+}
+
+// True positive (interprocedural): the helper's goroutines all write n.
+func viaHelper() int {
+	n := 0
+	done := make(chan bool, 4)
+	for i := 0; i < 4; i++ {
+		addAsync(&n, done) // want "written by goroutines spawned in a loop"
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	return n
+}
+
+// Non-finding: disjoint slots indexed by a goroutine-local parameter,
+// merged after the barrier.
+func partitioned(n int) []int {
+	results := make([]int, n)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = w * w
+		}(w)
+	}
+	wg.Wait()
+	return results
+}
+
+// Non-finding: results flow over a channel; the accumulator stays in
+// the spawner.
+func viaChannel(n int) int {
+	out := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) { out <- i * i }(i)
+	}
+	sum := 0
+	for j := 0; j < n; j++ {
+		sum += <-out
+	}
+	return sum
+}
+
+// Non-finding: sync/atomic discipline.
+func viaAtomic(n int) int64 {
+	var total int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			atomic.AddInt64(&total, 1)
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// Non-finding: a single writer joined before the spawner reads.
+func joined() int {
+	n := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		n = 7
+	}()
+	wg.Wait()
+	return n
+}
+
+// fillJoined writes *p in a goroutine but joins it before returning,
+// so callers see a synchronous helper.
+func fillJoined(p *int) {
+	done := make(chan bool)
+	go func() {
+		*p = 3
+		done <- true
+	}()
+	<-done
+}
+
+// Non-finding (interprocedural): the callee joins its goroutine.
+func callerOfJoined() int {
+	n := 0
+	fillJoined(&n)
+	return n
+}
+
+// Non-finding (suppressed): deliberate benign race, annotated.
+func allowedRace() int {
+	n := 0
+	done := make(chan bool)
+	go func() { n = 1; done <- true }()
+	//lint:allow goroutinecap fixture demonstrates suppression
+	m := n
+	<-done
+	return m
+}

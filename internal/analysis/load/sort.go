@@ -1,0 +1,47 @@
+package load
+
+import "sort"
+
+// Sort returns the packages ordered dependency-first: if a loaded
+// package imports another loaded package (directly or transitively),
+// the importee comes first. Drivers analyze packages in this order so
+// that cross-package facts (function summaries exported into an
+// analysis.Session) are available before their importers are analyzed.
+// Packages are keyed by the import path their *types.Package reports;
+// test-variant packages ("p_test") naturally sort after the package
+// under test because they import it. Ties are broken by import path,
+// so the order is deterministic.
+func Sort(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		// The test-augmented variant and the external test package carry
+		// distinct ImportPaths; importers resolve the plain path, which
+		// p.Types.Path() reports for both the bare and augmented builds.
+		if byPath[p.Types.Path()] == nil {
+			byPath[p.Types.Path()] = p
+		}
+	}
+	sorted := append([]*Package(nil), pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ImportPath < sorted[j].ImportPath })
+
+	var out []*Package
+	state := make(map[*Package]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if state[p] != 0 {
+			return
+		}
+		state[p] = 1
+		for _, imp := range p.Types.Imports() {
+			if dep, ok := byPath[imp.Path()]; ok && dep != p && state[dep] != 1 {
+				visit(dep)
+			}
+		}
+		state[p] = 2
+		out = append(out, p)
+	}
+	for _, p := range sorted {
+		visit(p)
+	}
+	return out
+}

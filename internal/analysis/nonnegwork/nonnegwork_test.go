@@ -1,0 +1,12 @@
+package nonnegwork_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nonnegwork"
+)
+
+func TestNonNegWork(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), nonnegwork.Analyzer, "work", "nowsim")
+}

@@ -1,0 +1,85 @@
+// Fixture for the nonnegwork analyzer, named nowsim so the guarded
+// package gate applies.
+package nowsim
+
+import "work"
+
+// Config mirrors the simulator's overhead-carrying config.
+type Config struct{ Overhead float64 }
+
+// PositiveSub is the paper's ⊖ operator; its own subtraction is exempt.
+func PositiveSub(x, y float64) float64 {
+	if x <= y {
+		return 0
+	}
+	return x - y
+}
+
+// True positive: raw subtraction of an overhead identifier.
+func direct(t, c float64) float64 {
+	return t - c // want "route work quantities through sched.PositiveSub"
+}
+
+// True positive: raw subtraction of an overhead field.
+func viaField(t float64, cfg Config) float64 {
+	return t - cfg.Overhead // want "route work quantities through sched.PositiveSub"
+}
+
+// localBudget is a same-package wrapper hiding the subtraction; it is
+// itself a true positive at the subtraction site.
+func localBudget(t, c float64) float64 {
+	return t - c // want "route work quantities through sched.PositiveSub"
+}
+
+// True positive (interprocedural): the wrapper's summary exposes the
+// raw difference.
+func viaWrapper(t, c float64) float64 {
+	return localBudget(t, c) // want "hides a raw work subtraction"
+}
+
+// True positive (cross-package): the dependency's summary arrives as
+// session facts.
+func viaDep(t, c float64) float64 {
+	return work.Budget(t, c) // want "hides a raw work subtraction"
+}
+
+// Non-finding: routed through the helper.
+func viaHelper(t, c float64) float64 {
+	return PositiveSub(t, c)
+}
+
+// Non-finding: the function guards the pair like PositiveSub does.
+func guardedSub(t, c float64) float64 {
+	if t <= c {
+		return 0
+	}
+	return t - c
+}
+
+// Non-finding: the clamped dependency wrapper.
+func viaSafeDep(t, c float64) float64 {
+	return work.SafeBudget(t, c)
+}
+
+// Non-finding: the subtrahend is not an overhead quantity.
+func plainDifference(a, b float64) float64 {
+	return a - b
+}
+
+// Non-finding: integer arithmetic is out of scope.
+func intLeft(i, c int) int {
+	return i - c
+}
+
+// Non-finding: the subtrahend is a derived expression, not an
+// overhead quantity.
+func fraction(t, c float64) float64 {
+	return 1 - c/t
+}
+
+// Non-finding (suppressed): an analytic formula where the sign is the
+// point.
+func analytic(t, c float64) float64 {
+	//lint:allow nonnegwork closed-form slope, negative values intended
+	return t - c
+}

@@ -1,0 +1,16 @@
+// Package work is a fixture dependency: it defines a wrapper returning
+// a raw difference. The analyzer does not report here (the package is
+// not a guarded simulator package) but exports its flow summary, so
+// guarded importers see the raw subtraction through the call.
+package work
+
+// Budget returns the raw, sign-preserving difference.
+func Budget(t, c float64) float64 { return t - c }
+
+// SafeBudget clamps like PositiveSub; callers are clean.
+func SafeBudget(t, c float64) float64 {
+	if t <= c {
+		return 0
+	}
+	return t - c
+}

@@ -1,0 +1,164 @@
+// Package rngshare guards the determinism contract's sharpest edge:
+// one seeded random stream consumed from more than one goroutine. Even
+// when every draw is mutex-safe, the *order* of draws across
+// goroutines depends on the scheduler, so a shared stream silently
+// breaks the bit-identical-trace guarantee the simulators promise
+// (ROADMAP: seeded run ⇒ identical trace). The supported pattern is
+// stream splitting: derive an independent per-worker stream with
+// Split() in the spawner and hand each goroutine its own.
+//
+// Using the flow engine, the analyzer flags a random-stream value
+// (repro/internal/rng Source/Rng, or math/rand's Source/Rand) that:
+//   - enters a goroutine spawned in a loop (every worker shares it),
+//   - enters two or more distinct goroutine sites (spawned literals or
+//     calls whose summary says the argument reaches a goroutine), or
+//   - enters one goroutine while the spawner also keeps drawing from it
+//     with no barrier (WaitGroup.Wait or channel receive) in between.
+//
+// Handing the result of Split() into a goroutine is clean by
+// construction: the value entering the goroutine is the derived
+// stream, not the shared parent.
+package rngshare
+
+import (
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/flow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "rngshare",
+	Doc:  "flag a seeded random stream flowing into more than one goroutine",
+	Run:  run,
+}
+
+// streamTypes names the random-stream types per package base.
+var streamTypes = map[string]map[string]bool{
+	"rng":  {"Source": true, "Rng": true},
+	"rand": {"Source": true, "Rand": true, "PCG": true, "ChaCha8": true},
+}
+
+// isStream reports whether t (possibly behind pointers) is a
+// random-stream type.
+func isStream(t types.Type) bool {
+	for {
+		p, ok := t.Underlying().(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	names := streamTypes[analysis.PkgBase(obj.Pkg().Path())]
+	return names != nil && names[obj.Name()]
+}
+
+// entry is one site where the stream enters a goroutine.
+type entry struct {
+	pos, end token.Pos
+	inLoop   bool
+}
+
+func run(pass *analysis.Pass) error {
+	in, err := flow.Of(pass)
+	if err != nil {
+		return err
+	}
+	for _, fi := range in.Funcs {
+		checkFunc(pass, in, fi)
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, in *flow.Info, fi *flow.FuncInfo) {
+	// Distinct stream variables, in first-use order.
+	var vars []*types.Var
+	seen := make(map[*types.Var]bool)
+	for _, u := range fi.Uses {
+		if !seen[u.Var] && isStream(u.Var.Type()) {
+			seen[u.Var] = true
+			vars = append(vars, u.Var)
+		}
+	}
+	for _, v := range vars {
+		home := fi.HomeSpawn(v)
+		uses := fi.UsesOf(v)
+
+		spawnsUsing := make(map[*flow.Spawn]bool)
+		var outer []*flow.Use
+		for _, u := range uses {
+			if u.Spawn != home && u.Spawn != nil {
+				spawnsUsing[u.Spawn] = true
+			} else {
+				outer = append(outer, u)
+			}
+		}
+
+		var entries []entry
+		for _, s := range fi.Spawns {
+			if spawnsUsing[s] {
+				entries = append(entries, entry{pos: s.Go.Pos(), end: s.Go.End(), inLoop: s.InLoopFor(v)})
+			}
+		}
+		var plain []*flow.Use
+		for _, u := range outer {
+			if u.Arg != nil && u.Arg.Index >= 0 {
+				// A callee that joins its goroutines before returning is
+				// synchronous: the draws it makes are deterministically
+				// ordered, so the call is an ordinary spawner-side use.
+				if sum, ok := in.SummaryOf(u.Arg.Site.Callee); ok && !sum.Joins &&
+					sum.Param(u.Arg.Index)&(flow.ReachesGoroutine|flow.WrittenInGoroutine) != 0 {
+					entries = append(entries, entry{
+						pos:    u.Arg.Site.Call.Pos(),
+						end:    u.Arg.Site.Call.End(),
+						inLoop: u.Arg.Site.InLoopFor(v),
+					})
+					continue
+				}
+				// Unresolvable callees are treated as ordinary
+				// spawner-side uses rather than guessed at.
+			}
+			plain = append(plain, u)
+		}
+		if len(entries) == 0 {
+			continue
+		}
+
+		looped := -1
+		for i, e := range entries {
+			if e.inLoop {
+				looped = i
+				break
+			}
+		}
+		switch {
+		case looped >= 0:
+			pass.Reportf(entries[looped].pos,
+				"rng stream %q enters a goroutine spawned in a loop: every worker draws from the same stream in scheduler order; hand each worker its own stream via Split",
+				v.Name())
+		case len(entries) >= 2:
+			pass.Reportf(entries[1].pos,
+				"rng stream %q is shared across %d goroutine sites: draw order depends on the scheduler; derive independent streams via Split",
+				v.Name(), len(entries))
+		default:
+			e := entries[0]
+			for _, u := range plain {
+				if u.Pos > e.pos && !fi.BarrierBetween(e.end, u.Pos) {
+					pass.Reportf(u.Pos,
+						"rng stream %q is drawn from here while a goroutine spawned earlier also uses it, with no barrier between: split streams or synchronize",
+						v.Name())
+					break
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package rngshare_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/rngshare"
+)
+
+func TestRngShare(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), rngshare.Analyzer, "rngfix")
+}

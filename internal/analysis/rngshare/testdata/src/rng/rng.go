@@ -1,0 +1,22 @@
+// Package rng is a fixture stand-in for repro/internal/rng: a seeded,
+// splittable random stream. Only the shape matters to the analyzer —
+// the package base "rng" and the Source type name.
+package rng
+
+type Source struct{ state uint64 }
+
+func New(seed uint64) *Source { return &Source{state: seed} }
+
+func (s *Source) Uint64() uint64 {
+	s.state = s.state*6364136223846793005 + 1442695040888963407
+	return s.state
+}
+
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Split derives an independent stream; the parent advances once.
+func (s *Source) Split() *Source {
+	return &Source{state: s.Uint64() ^ 0x9e3779b97f4a7c15}
+}

@@ -1,0 +1,109 @@
+// Fixture for the rngshare analyzer: one seeded stream must not feed
+// more than one goroutine.
+package rngfix
+
+import (
+	"sync"
+
+	"rng"
+)
+
+// True positive: one stream drawn by every worker of a loop.
+func loopShare(n int) {
+	src := rng.New(1)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // want "enters a goroutine spawned in a loop"
+			defer wg.Done()
+			_ = src.Uint64()
+		}()
+	}
+	wg.Wait()
+}
+
+// True positive: two distinct goroutines share the stream.
+func twoGoroutines() {
+	src := rng.New(2)
+	done := make(chan bool)
+	go func() { _ = src.Uint64(); done <- true }()
+	go func() { _ = src.Float64(); done <- true }() // want "shared across 2 goroutine sites"
+	<-done
+	<-done
+}
+
+// True positive: the spawner keeps drawing while a goroutine uses the
+// same stream, with no barrier in between.
+func spawnerAndGoroutine() float64 {
+	src := rng.New(3)
+	done := make(chan bool)
+	go func() { _ = src.Uint64(); done <- true }()
+	x := src.Float64() // want "while a goroutine spawned earlier also uses it"
+	<-done
+	return x
+}
+
+// pump hands its stream to a goroutine; callers inherit the hazard
+// through pump's flow summary.
+func pump(s *rng.Source, out chan uint64) {
+	go func() {
+		out <- s.Uint64()
+	}()
+}
+
+// True positive (interprocedural): two pump calls share one stream.
+func viaHelper() {
+	src := rng.New(4)
+	out := make(chan uint64, 2)
+	pump(src, out)
+	pump(src, out) // want "shared across 2 goroutine sites"
+	<-out
+	<-out
+}
+
+// Non-finding: each worker receives its own split stream; the loop
+// body's sub is a fresh variable per iteration.
+func splitPerWorker(n int) {
+	src := rng.New(5)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sub := src.Split()
+		go func() {
+			defer wg.Done()
+			_ = sub.Uint64()
+		}()
+	}
+	wg.Wait()
+}
+
+// Non-finding: a single handoff; the spawner never touches the stream
+// again.
+func handOff() {
+	src := rng.New(6)
+	done := make(chan bool)
+	go func() { _ = src.Uint64(); done <- true }()
+	<-done
+}
+
+// Non-finding: the spawner reuses the stream only after the channel
+// receive guarantees the goroutine is done — the draw order is fixed.
+func sequentialReuse() float64 {
+	src := rng.New(7)
+	done := make(chan bool)
+	go func() { _ = src.Uint64(); done <- true }()
+	<-done
+	return src.Float64()
+}
+
+// Non-finding (suppressed): deliberate sharing, annotated with a
+// reason.
+func allowed() {
+	src := rng.New(8)
+	done := make(chan bool)
+	go func() { _ = src.Uint64(); done <- true }()
+	//lint:allow rngshare demo of deliberate shared stream
+	go func() { _ = src.Uint64(); done <- true }()
+	<-done
+	<-done
+}

@@ -9,15 +9,23 @@ import (
 	"repro/internal/analysis/determinism"
 	"repro/internal/analysis/errsink"
 	"repro/internal/analysis/floatcmp"
+	"repro/internal/analysis/goroutinecap"
+	"repro/internal/analysis/nonnegwork"
 	"repro/internal/analysis/obssafe"
 	"repro/internal/analysis/printlint"
+	"repro/internal/analysis/rngshare"
 )
 
-// All is the full cslint analyzer suite.
+// All is the full cslint analyzer suite. The goroutinecap, nonnegwork
+// and rngshare analyzers share one interprocedural flow build per
+// package (internal/analysis/flow).
 var All = []*analysis.Analyzer{
 	determinism.Analyzer,
 	errsink.Analyzer,
 	floatcmp.Analyzer,
+	goroutinecap.Analyzer,
+	nonnegwork.Analyzer,
 	obssafe.Analyzer,
 	printlint.Analyzer,
+	rngshare.Analyzer,
 }

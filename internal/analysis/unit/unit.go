@@ -8,9 +8,12 @@
 //
 // Protocol (reverse-engineered from cmd/go/internal/work): the tool is
 // invoked with a single argument ending in .cfg; it must write the
-// VetxOutput facts file (empty here — these analyzers are fact-free),
-// report diagnostics to stderr as file:line:col: message, and exit
-// nonzero when it found anything.
+// VetxOutput facts file, report diagnostics to stderr as
+// file:line:col: message, and exit nonzero when it found anything.
+// Facts (the interprocedural flow summaries) are serialized as a JSON
+// map of namespace to blob per package; cmd/go hands dependencies'
+// vetx files back via PackageVetx, from which the session is
+// rehydrated before analysis.
 package unit
 
 import (
@@ -64,16 +67,13 @@ func Run(cfgFile string, analyzers []*analysis.Analyzer, stderr io.Writer) int {
 		return 2
 	}
 	// The go command reads the facts file back even when the run fails;
-	// write it first. The suite keeps no facts, so it is always empty.
+	// write an empty one first so error paths still satisfy the protocol,
+	// then overwrite it with real facts after analysis.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
 			fmt.Fprintln(stderr, "cslint:", err)
 			return 2
 		}
-	}
-	if cfg.VetxOnly {
-		// Dependency pass: cmd/go only wants facts, which we don't have.
-		return 0
 	}
 	if cfg.Compiler != "" && cfg.Compiler != "gc" {
 		fmt.Fprintf(stderr, "cslint: unsupported compiler %q\n", cfg.Compiler)
@@ -137,10 +137,46 @@ func Run(cfgFile string, analyzers []*analysis.Analyzer, stderr io.Writer) int {
 		return 1
 	}
 
-	findings, err := analysis.RunAnalyzers(fset, files, tpkg, info, analyzers)
+	// Rehydrate the session from the dependencies' vetx facts files so
+	// interprocedural analyzers see cross-package summaries.
+	sess := analysis.NewSession()
+	for path, vetx := range cfg.PackageVetx {
+		blob, err := os.ReadFile(vetx)
+		if err != nil || len(blob) == 0 {
+			// Missing or empty facts degrade gracefully: the flow engine
+			// treats the dependency's functions as unknown.
+			continue
+		}
+		var m map[string][]byte
+		if err := json.Unmarshal(blob, &m); err != nil {
+			fmt.Fprintf(stderr, "cslint: parsing facts %s: %v\n", vetx, err)
+			return 2
+		}
+		sess.ImportFacts(path, m)
+	}
+
+	findings, err := sess.Run(fset, files, tpkg, info, analyzers)
 	if err != nil {
 		fmt.Fprintln(stderr, "cslint:", err)
 		return 2
+	}
+	if cfg.VetxOutput != "" {
+		if facts := sess.PackageFacts(cfg.ImportPath); facts != nil {
+			blob, err := json.Marshal(facts)
+			if err != nil {
+				fmt.Fprintln(stderr, "cslint:", err)
+				return 2
+			}
+			if err := os.WriteFile(cfg.VetxOutput, blob, 0o666); err != nil {
+				fmt.Fprintln(stderr, "cslint:", err)
+				return 2
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency pass: cmd/go only wants the facts file; findings for
+		// this package are reported when it is vetted directly.
+		return 0
 	}
 	for _, f := range findings {
 		fmt.Fprintln(stderr, f)

@@ -194,6 +194,7 @@ func (pl *Planner) lemma31Slack(t0 float64) float64 {
 		return math.Inf(1)
 	}
 	inner := func(t float64) float64 { return (1 - c/t) * pl.life.P(t) }
+	//lint:allow nonnegwork interval endpoint of (3.10), positive by the t0 > 2c guard above
 	_, best, err := numeric.MaximizeScan(inner, c*(1+1e-9), t0-c, 64, numeric.MaxOptions{Tol: 1e-9})
 	if err != nil {
 		return math.Inf(1)

@@ -208,6 +208,7 @@ func (pl *Planner) GenerateTrace(t0 float64) (sched.Schedule, StopReason, error)
 			reason = StopTail
 			break
 		}
+		//lint:allow nonnegwork recurrence (3.6) term; t_{k-1} > c is a planner invariant
 		target := pPrev + (tPrev-pl.c)*pl.life.Deriv(tk)
 		if target <= 0 {
 			reason = StopExhausted

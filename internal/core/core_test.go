@@ -184,6 +184,7 @@ func TestPlanBestGeomDecMatchesBCLROptimal(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		tStar = c + 1/lna - math.Exp(-tStar*lna)/lna
 	}
+	//lint:allow nonnegwork closed-form optimum; tStar > c at the fixed point
 	eStar := (tStar - c) * math.Exp(-tStar*lna) / (1 - math.Exp(-tStar*lna))
 	if math.Abs(plan.ExpectedWork-eStar)/eStar > 1e-4 {
 		t.Errorf("E = %.8g, optimal %.8g", plan.ExpectedWork, eStar)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/lifefn"
 	"repro/internal/numeric"
+	"repro/internal/sched"
 )
 
 // ExistsProductive implements the literal existence test of Corollary
@@ -24,6 +25,7 @@ func ExistsProductive(l lifefn.Life, c float64) (witness float64, ok bool) {
 		return 0, false
 	}
 	margin := func(t float64) float64 {
+		//lint:allow nonnegwork Corollary 3.2 margin; its sign is the tested quantity
 		return l.P(t) + (t-c)*l.Deriv(t)
 	}
 	lo := c * (1 + 1e-9)
@@ -53,6 +55,7 @@ func ExistenceMargin(l lifefn.Life, c float64) float64 {
 	best := math.Inf(-1)
 	for i := 1; i <= 1024; i++ {
 		t := lo + (span-lo)*float64(i)/1024
+		//lint:allow nonnegwork Corollary 3.2 margin; its sign is the computed quantity
 		if m := l.P(t) + (t-c)*l.Deriv(t); m > best {
 			best = m
 		}
@@ -78,6 +81,7 @@ func TailMarginFails(l lifefn.Life, c float64) bool {
 	// negative at every point there for the tail failure to hold.
 	for i := 0; i <= 8; i++ {
 		t := span * (0.5 + 0.5*float64(i)/8)
+		//lint:allow nonnegwork Corollary 3.2 margin; negativity is what the test checks
 		if l.P(t)+(t-c)*l.Deriv(t) > 0 {
 			return false
 		}
@@ -201,7 +205,7 @@ func bestAppendGain(l lifefn.Life, c, tau float64) float64 {
 	if hi <= c {
 		return 0
 	}
-	yield := func(t float64) float64 { return (t - c) * l.P(tau+t) }
+	yield := func(t float64) float64 { return sched.PositiveSub(t, c) * l.P(tau+t) }
 	_, best, err := numeric.MaximizeScan(yield, c*(1+1e-12), hi, 128, numeric.MaxOptions{Tol: 1e-9})
 	if err != nil || best < 0 {
 		return 0

@@ -31,8 +31,12 @@ func (b T0Bounds) Width() float64 { return b.Hi - b.Lo }
 
 // UniformNextPeriod is recurrence (4.1) for the uniform-risk scenario
 // p_{1,L}: t_k = t_{k-1} - c, which coincides with the optimal
-// recurrence of [BCLR97].
-func UniformNextPeriod(tPrev, c float64) float64 { return tPrev - c }
+// recurrence of [BCLR97]. The raw difference is deliberate: a
+// non-positive result signals exhaustion to the schedule builder.
+func UniformNextPeriod(tPrev, c float64) float64 {
+	//lint:allow nonnegwork recurrence (4.1); non-positive result signals exhaustion
+	return tPrev - c
+}
 
 // UniformT0Bounds is the explicit bracket (4.4) for the uniform-risk
 // scenario: sqrt(cL) <= t0 <= 2·sqrt(cL) + 1. The true optimum (4.5)
@@ -49,6 +53,7 @@ func UniformT0Bounds(c, l float64) T0Bounds {
 // simplification, which the general formula reproduces numerically.
 func PolyNextPeriod(d int, tPrev, boundary, c float64) float64 {
 	dd := float64(d)
+	//lint:allow nonnegwork recurrence (4.1) generalized; sign carries exhaustion
 	return (math.Pow(1+dd*(tPrev-c)/boundary, 1/dd) - 1) * boundary
 }
 
@@ -86,6 +91,7 @@ func GeomDecT0Bounds(a, c float64) T0Bounds {
 // GeomIncNextPeriod is recurrence (4.7) for the doubling-risk scenario:
 // t_{k+1} = log2((t_k - c)·ln 2 + 1).
 func GeomIncNextPeriod(tPrev, c float64) float64 {
+	//lint:allow nonnegwork recurrence (4.7); sign carries exhaustion
 	return math.Log2((tPrev-c)*math.Ln2 + 1)
 }
 
@@ -158,6 +164,7 @@ func FamilyRecurrence(l lifefn.Life, c float64) (Recurrence, bool) {
 	switch f := l.(type) {
 	case lifefn.Uniform:
 		return func(tPrev, _ float64) (float64, bool) {
+			//lint:allow nonnegwork forwards recurrence (4.1); caller stops on t <= c
 			return UniformNextPeriod(tPrev, c), true
 		}, true
 	case lifefn.Poly:

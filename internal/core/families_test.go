@@ -18,6 +18,7 @@ func TestPolyNextPeriodReducesToUniformAtD1(t *testing.T) {
 		{10, 10, 1}, {7.5, 30, 1}, {20, 100, 2.5},
 	} {
 		got := PolyNextPeriod(1, tc.tPrev, tc.boundary, tc.c)
+		//lint:allow nonnegwork expected recurrence value, raw by definition
 		want := tc.tPrev - tc.c
 		if math.Abs(got-want) > 1e-9 {
 			t.Errorf("PolyNext(1, %g, %g, %g) = %g, want %g", tc.tPrev, tc.boundary, tc.c, got, want)

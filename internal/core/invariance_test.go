@@ -77,6 +77,7 @@ func TestPropertyGeneratedSchedulesRespectStructure(t *testing.T) {
 			if s.Period(i) <= c {
 				return false
 			}
+			//lint:allow nonnegwork growth-law bound, comparison only
 			if i > 0 && s.Period(i) > s.Period(i-1)-c+1e-6 {
 				return false
 			}

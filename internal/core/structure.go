@@ -20,11 +20,13 @@ func CheckGrowthRate(s sched.Schedule, shape lifefn.Shape, c, tol float64) error
 		// the concave direction the bound constrains periods i with a
 		// successor, which i+1 < Len captures.
 		ti, tn := s.Period(i), s.Period(i+1)
-		if shape.IsConcave() && tn > ti-c+tol {
-			return fmt.Errorf("core: concave growth law violated at period %d: t_{i+1}=%g > t_i-c=%g", i, tn, ti-c)
+		//lint:allow nonnegwork Theorem 3.7 growth bound; compared, never used as work
+		bound := ti - c
+		if shape.IsConcave() && tn > bound+tol {
+			return fmt.Errorf("core: concave growth law violated at period %d: t_{i+1}=%g > t_i-c=%g", i, tn, bound)
 		}
-		if shape.IsConvex() && tn < ti-c-tol {
-			return fmt.Errorf("core: convex growth law violated at period %d: t_{i+1}=%g < t_i-c=%g", i, tn, ti-c)
+		if shape.IsConvex() && tn < bound-tol {
+			return fmt.Errorf("core: convex growth law violated at period %d: t_{i+1}=%g < t_i-c=%g", i, tn, bound)
 		}
 	}
 	return nil
@@ -116,6 +118,7 @@ func Residual36(s sched.Schedule, l lifefn.Life, c float64) float64 {
 	bounds := s.Boundaries()
 	for k := 1; k < s.Len(); k++ {
 		tPrev := s.Period(k - 1)
+		//lint:allow nonnegwork residual of recurrence (3.6), raw by definition
 		want := l.P(bounds[k-1]) + (tPrev-c)*l.Deriv(bounds[k-1])
 		if r := math.Abs(l.P(bounds[k]) - want); r > worst {
 			worst = r

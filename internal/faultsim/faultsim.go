@@ -23,6 +23,7 @@ import (
 	"repro/internal/lifefn"
 	"repro/internal/nowsim"
 	"repro/internal/rng"
+	"repro/internal/sched"
 	"repro/internal/stats"
 )
 
@@ -107,17 +108,17 @@ func Run(cfg Config, src *rng.Source) (Result, error) {
 			}
 			// Do not overshoot the job: the final chunk shrinks to the
 			// remaining work plus its save.
-			if t-cfg.SaveCost > remaining {
+			if sched.PositiveSub(t, cfg.SaveCost) > remaining {
 				t = remaining + cfg.SaveCost
 			}
 			if elapsed+t < failAt {
 				elapsed += t
-				committed += t - cfg.SaveCost
+				committed += sched.PositiveSub(t, cfg.SaveCost)
 				res.SaveTime += cfg.SaveCost
 				continue
 			}
 			// Failure strikes during the chunk: its work is lost.
-			res.LostWork += t - cfg.SaveCost
+			res.LostWork += sched.PositiveSub(t, cfg.SaveCost)
 			failed = true
 			break
 		}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/rng"
+	"repro/internal/sched"
 )
 
 // Worker describes one borrowable workstation in a farm: how long its
@@ -211,10 +212,10 @@ func RunFarm(cfg FarmConfig, pool *TaskPool) (FarmResult, error) {
 				endEpisode(false)
 				return
 			}
-			// A period of wall length t leaves t-c for computing, which
-			// at this worker's speed covers (t-c)·speed reference task
+			// A period of wall length t leaves t ⊖ c for computing, which
+			// at this worker's speed covers (t ⊖ c)·speed reference task
 			// time.
-			bundle, used := pool.TakeBundle((t - cfg.Overhead) * w.spec.speed())
+			bundle, used := pool.TakeBundle(sched.PositiveSub(t, cfg.Overhead) * w.spec.speed())
 			if len(bundle) == 0 {
 				fo.voluntaryEnd(w, eng.Now())
 				endEpisode(false)

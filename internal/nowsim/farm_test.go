@@ -229,3 +229,34 @@ func TestLifeOwnerSamplesWithinSupport(t *testing.T) {
 }
 
 var _ = sched.Schedule{} // keep sched import for helper clarity
+
+func TestFarmTightPeriodsClampedBudget(t *testing.T) {
+	// Periods barely above the overhead leave exactly t ⊖ c = 0.25 of
+	// compute per dispatch, so the farm must still drain the pool one
+	// task at a time without ever offering the pool a negative budget.
+	l := farmLife(t, 200)
+	c := 1.0
+	workers := []Worker{{
+		ID:            0,
+		Owner:         LifeOwner{Life: l},
+		BusySampler:   func(r *rng.Source) float64 { return r.Uniform(5, 20) },
+		PolicyFactory: func() Policy { return tightPolicy{t: c + 0.25} },
+	}}
+	pool, err := NewUniformTasks(8, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFarm(FarmConfig{Workers: workers, Overhead: c, Seed: 7, MaxTime: 1e6}, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Drained {
+		t.Fatalf("pool not drained: %d tasks left", pool.Remaining())
+	}
+	if res.TasksCompleted != 8 {
+		t.Errorf("completed %d tasks, want 8", res.TasksCompleted)
+	}
+	if math.Abs(res.CommittedWork-2) > 1e-9 {
+		t.Errorf("committed work = %g, want 2", res.CommittedWork)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/rng"
+	"repro/internal/sched"
 )
 
 // Task is one indivisible unit of a data-parallel computation. Its
@@ -194,20 +195,21 @@ func RunTaskEpisodeOpt(policy Policy, pool *TaskPool, c, reclaim float64, opt Ta
 			bundle []Task
 			used   float64
 		)
+		budget := sched.PositiveSub(t, c)
 		switch {
 		case opt.BestFitWindow > 0:
-			bundle, used = pool.TakeBundleBestFit(t-c, opt.BestFitWindow)
+			bundle, used = pool.TakeBundleBestFit(budget, opt.BestFitWindow)
 		case opt.BestFitWindow < 0:
-			bundle, used = pool.TakeBundleBestFit(t-c, 0) // auto window
+			bundle, used = pool.TakeBundleBestFit(budget, 0) // auto window
 		default:
-			bundle, used = pool.TakeBundle(t - c)
+			bundle, used = pool.TakeBundle(budget)
 		}
 		if len(bundle) == 0 {
 			finish()
 			return
 		}
 		res.PeriodsDispatched++
-		res.Slack += (t - c) - used
+		res.Slack += budget - used
 		// The period occupies the full scheduled length t (the
 		// coordinator reserved that window) even if the bundle packs
 		// less than t-c of task time.

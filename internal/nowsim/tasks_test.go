@@ -125,3 +125,36 @@ func TestRunTaskEpisodeStopsWhenNothingFits(t *testing.T) {
 		t.Error("voluntary stop misreported as reclaim")
 	}
 }
+
+// tightPolicy emits a fixed period barely above the overhead, driving
+// every dispatch budget through the t ⊖ c clamp near its boundary.
+type tightPolicy struct{ t float64 }
+
+func (p tightPolicy) NextPeriod(float64) (float64, bool) { return p.t, true }
+func (p tightPolicy) Reset()                             {}
+func (p tightPolicy) String() string                     { return "tight" }
+
+func TestRunTaskEpisodeTightPeriodBudgetClamped(t *testing.T) {
+	const c = 1.0
+	pool, err := NewUniformTasks(8, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunTaskEpisode(tightPolicy{t: c + 0.25}, pool, c, math.Inf(1))
+	// Each period's budget is exactly t ⊖ c = 0.25: one task per
+	// dispatch, zero slack, and the pool drains before the episode ends
+	// voluntarily. A budget that went negative (or picked up rounding
+	// noise) would dispatch nothing or leak slack.
+	if res.TasksCompleted != 8 {
+		t.Errorf("completed %d tasks, want 8", res.TasksCompleted)
+	}
+	if res.PeriodsDispatched != 8 {
+		t.Errorf("dispatched %d periods, want 8", res.PeriodsDispatched)
+	}
+	if res.Slack != 0 {
+		t.Errorf("slack = %g, want 0", res.Slack)
+	}
+	if pool.Remaining() != 0 {
+		t.Errorf("remaining = %d, want 0", pool.Remaining())
+	}
+}

@@ -174,7 +174,7 @@ func Gradient(s Schedule, l lifefn.Life, c float64) []float64 {
 	suffix := 0.0
 	for k := m - 1; k >= 0; k-- {
 		direct := 0.0
-		if w := s.periods[k] - c; w > 0 {
+		if w := PositiveSub(s.periods[k], c); w > 0 {
 			suffix += w * l.Deriv(bounds[k])
 			direct = l.P(bounds[k])
 		}
