@@ -3,8 +3,9 @@
 
 GO ?= go
 FUZZTIME ?= 10s
+LOAD_ADDR ?= http://localhost:8080
 
-.PHONY: all build test race vet lint lint-fix-check fmt-check ci bench bench-obs bench-perf fuzz-smoke
+.PHONY: all build test race vet lint lint-fix-check fmt-check ci bench bench-obs bench-perf fuzz-smoke serve-smoke loadtest
 
 all: build
 
@@ -44,7 +45,18 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check vet lint lint-fix-check build race
+ci: fmt-check vet lint lint-fix-check build race serve-smoke
+
+# Boot csserve and drive it with csload: cache speedup, coalescing,
+# 429 load shedding, metrics surface and graceful drain, asserted with
+# jq. Artifacts land in serve-smoke-out/ (override with SMOKE_DIR).
+serve-smoke:
+	bash scripts/serve-smoke.sh
+
+# Ad-hoc load generation against an already-running csserve
+# (override LOAD_ADDR, e.g. make loadtest LOAD_ADDR=http://host:9000).
+loadtest:
+	$(GO) run ./cmd/csload -addr $(LOAD_ADDR)
 
 # Short fuzz sessions over the CLI-facing parsers: no panics, and
 # accepted inputs must round-trip through their canonical names.

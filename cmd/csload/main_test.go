@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func startServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	// A long deadline: the race detector slows simulation several-fold,
+	// and these tests assert on coalescing, not latency.
+	s := serve.New(serve.Config{Workers: 2, DefaultTimeout: 5 * time.Minute})
+	mux := http.NewServeMux()
+	s.Routes(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	t.Cleanup(s.Drain)
+	return ts
+}
+
+// Two waves of identical plan specs: the warm wave must be fully
+// cached and the server-side-elapsed speedup must show it.
+func TestLoadColdWarmPlanWaves(t *testing.T) {
+	ts := startServer(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", ts.URL, "-endpoint", "plan",
+		"-requests", "8", "-concurrency", "4", "-waves", "2",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d; stderr: %s", code, stderr.String())
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("bad report: %v\n%s", err, stdout.String())
+	}
+	if len(rep.Waves) != 2 {
+		t.Fatalf("waves = %d, want 2", len(rep.Waves))
+	}
+	cold, warm := rep.Waves[0], rep.Waves[1]
+	if cold.OK != 8 || warm.OK != 8 || cold.Errors+warm.Errors != 0 {
+		t.Fatalf("ok/errors wrong: %+v %+v", cold, warm)
+	}
+	if warm.Cached != 8 {
+		t.Errorf("warm cached = %d, want 8", warm.Cached)
+	}
+	if cold.Cached != 0 {
+		t.Errorf("cold cached = %d, want 0", cold.Cached)
+	}
+	if rep.SpeedupServerElapsed <= 1 {
+		t.Errorf("server-elapsed speedup = %g, want > 1", rep.SpeedupServerElapsed)
+	}
+	if cold.Status["200"] != 8 {
+		t.Errorf("cold status map = %v", cold.Status)
+	}
+	if !(cold.P99MS >= cold.P50MS) {
+		t.Errorf("p99 %g < p50 %g", cold.P99MS, cold.P50MS)
+	}
+}
+
+// Identical concurrent estimate specs must coalesce: the wave's
+// cached+coalesced count accounts for all but one request.
+func TestLoadEstimateCoalesces(t *testing.T) {
+	ts := startServer(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", ts.URL, "-endpoint", "estimate",
+		"-requests", "6", "-concurrency", "6", "-waves", "1",
+		"-distinct", "1", "-episodes", "60000", "-policy", "fixed:10",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d; stderr: %s", code, stderr.String())
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	w := rep.Waves[0]
+	if w.OK != 6 || w.Errors != 0 {
+		t.Fatalf("wave = %+v", w)
+	}
+	if fresh := w.Requests - w.Cached - w.Coalesced; fresh > 1 {
+		t.Errorf("%d fresh computations, want at most 1 (%+v)", fresh, w)
+	}
+}
+
+func TestLoadUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	for _, argv := range [][]string{
+		{"-endpoint", "nope"},
+		{"-requests", "0"},
+		{"-no-such-flag"},
+	} {
+		if code := run(argv, &out, &out); code != 2 {
+			t.Errorf("argv %v: exit = %d, want 2", argv, code)
+		}
+	}
+}
+
+// A dead target is a transport error: report it and exit 1.
+func TestLoadTransportErrorsExit1(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", "http://127.0.0.1:1", "-requests", "2", "-waves", "1",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Waves[0].Errors != 2 {
+		t.Errorf("errors = %d, want 2", rep.Waves[0].Errors)
+	}
+}

@@ -1,0 +1,148 @@
+// Command csserve is the long-running planning and estimation service:
+// the paper's guideline schedule (system 3.6) and Monte-Carlo E(S;p)
+// estimates behind an HTTP/JSON API, built to survive production
+// traffic — sharded LRU plan cache, request coalescing, and a bounded
+// worker pool that sheds load with 429 instead of queueing unboundedly.
+//
+// Usage:
+//
+//	csserve                              # listen on :8080
+//	csserve -addr :9000 -workers 8 -queue 128
+//	csserve -plan-cache 8192 -est-cache 1024 -shards 32
+//	csserve -timeout 5s -max-timeout 30s -max-episodes 1000000
+//	csserve -flight 4096                 # ring of recent requests,
+//	                                     # dumped to stderr on SIGQUIT
+//
+// Endpoints: POST /v1/plan, POST /v1/estimate, GET /v1/healthz, plus
+// /metrics, /debug/vars and /debug/pprof from the shared obs mux.
+//
+// SIGTERM or SIGINT drains gracefully: the listener stops accepting,
+// in-flight requests get -grace to finish, then the worker pool is
+// closed. SIGQUIT dumps the flight ring and keeps serving.
+//
+// Exit status: 0 on clean shutdown, 1 on serve failure, 2 on usage
+// errors.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	return runApp(argv, stdout, stderr, nil, nil)
+}
+
+// runApp is run with test hooks: when ready is non-nil it receives the
+// bound listen address once serving, and a receive on stop triggers the
+// same graceful drain as SIGTERM.
+func runApp(argv []string, stdout, stderr io.Writer, ready chan<- string, stop <-chan struct{}) int {
+	fs := flag.NewFlagSet("csserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+		workers     = fs.Int("workers", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
+		queue       = fs.Int("queue", 64, "bounded request queue capacity; full queue answers 429")
+		planCache   = fs.Int("plan-cache", 4096, "plan LRU cache entries (0 = default, negative disables)")
+		estCache    = fs.Int("est-cache", 512, "estimate LRU cache entries (0 = default, negative disables)")
+		shards      = fs.Int("shards", 16, "LRU cache shard count")
+		timeout     = fs.Duration("timeout", 10*time.Second, "default per-request compute deadline")
+		maxTimeout  = fs.Duration("max-timeout", 60*time.Second, "ceiling on client-requested timeout_ms")
+		maxEpisodes = fs.Int("max-episodes", 2_000_000, "ceiling on episodes per /v1/estimate request")
+		flight      = fs.Int("flight", 0, "keep the last N requests in a flight ring, dumped on SIGQUIT (0 disables)")
+		grace       = fs.Duration("grace", 15*time.Second, "shutdown grace period for in-flight requests")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "csserve: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+
+	reg := obs.NewRegistry()
+	var fr *obs.FlightRecorder
+	if *flight > 0 {
+		fr = obs.NewFlightRecorder(*flight)
+	}
+	s := serve.New(serve.Config{
+		Workers:              *workers,
+		Queue:                *queue,
+		PlanCacheEntries:     *planCache,
+		EstimateCacheEntries: *estCache,
+		CacheShards:          *shards,
+		DefaultTimeout:       *timeout,
+		MaxTimeout:           *maxTimeout,
+		MaxEpisodes:          *maxEpisodes,
+		Registry:             reg,
+		Flight:               fr,
+	})
+
+	mux := obs.NewMux(reg)
+	s.Routes(mux)
+	srv := &http.Server{Handler: mux}
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "csserve:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "csserve: listening on %s\n", lis.Addr())
+	if ready != nil {
+		ready <- lis.Addr().String()
+	}
+
+	// SIGQUIT dumps the flight ring without exiting; SIGTERM/SIGINT (or
+	// the test stop hook) start the graceful drain.
+	if fr != nil {
+		quitCh := make(chan os.Signal, 1)
+		signal.Notify(quitCh, syscall.SIGQUIT)
+		defer signal.Stop(quitCh)
+		go func() {
+			for range quitCh {
+				_ = fr.Dump(stderr)
+			}
+		}()
+	}
+	termCtx, cancelTerm := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer cancelTerm()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(lis) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "csserve:", err)
+		return 1
+	case <-termCtx.Done():
+	case <-stop: // nil when not under test: blocks forever
+	}
+
+	fmt.Fprintln(stderr, "csserve: draining")
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	code := 0
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(stderr, "csserve: shutdown:", err)
+		code = 1
+	}
+	s.Drain()
+	fmt.Fprintln(stdout, "csserve: drained")
+	return code
+}

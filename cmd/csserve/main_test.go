@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Boot the full binary (ephemeral port), serve a plan twice, check the
+// cache and metrics surfaces, then drain via the stop hook.
+func TestServeEndToEnd(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	code := make(chan int, 1)
+	go func() {
+		code <- runApp([]string{"-addr", "127.0.0.1:0", "-workers", "2", "-flight", "64"},
+			&stdout, &stderr, ready, stop)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("server never became ready; stderr: %s", stderr.String())
+	}
+	base := "http://" + addr
+
+	body := `{"life":"uniform","lifespan":450}`
+	var first, second struct {
+		Cached       bool    `json:"cached"`
+		ExpectedWork float64 `json:"expected_work"`
+	}
+	for i, out := range []*struct {
+		Cached       bool    `json:"cached"`
+		ExpectedWork float64 `json:"expected_work"`
+	}{&first, &second} {
+		resp, err := http.Post(base+"/v1/plan", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if first.Cached || !second.Cached {
+		t.Errorf("cached flags = %v/%v, want false/true", first.Cached, second.Cached)
+	}
+	if !(second.ExpectedWork > 0) {
+		t.Errorf("expected_work = %g", second.ExpectedWork)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics bytes.Buffer
+	if _, err := metrics.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, want := range []string{
+		`cs_serve_cache_hits_total{route="plan"} 1`,
+		`cs_http_request_ms{route="plan",quantile="0.99"}`,
+	} {
+		if !strings.Contains(metrics.String(), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	resp, err = http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("healthz status = %d", resp.StatusCode)
+	}
+
+	close(stop)
+	select {
+	case c := <-code:
+		if c != 0 {
+			t.Errorf("exit code = %d; stderr: %s", c, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain after stop")
+	}
+	if !strings.Contains(stdout.String(), "drained") {
+		t.Errorf("stdout missing drain message: %s", stdout.String())
+	}
+}
+
+func TestServeUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &out); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+	if code := run([]string{"positional"}, &out, &out); code != 2 {
+		t.Errorf("positional arg exit = %d, want 2", code)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-addr", "256.0.0.1:99999"}, &out, &out); code != 1 {
+		t.Errorf("bad addr exit = %d, want 1", code)
+	}
+}

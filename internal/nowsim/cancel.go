@@ -1,0 +1,61 @@
+package nowsim
+
+import (
+	"context"
+
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// cancelCheckStride is how many episodes run between context checks in
+// MonteCarloCtx. Episodes are microseconds of work, so a stride of 128
+// keeps the cancellation latency far below any realistic request
+// deadline while making the check's cost unmeasurable.
+const cancelCheckStride = 128
+
+// MonteCarloCtx is MonteCarloObs with cooperative cancellation: it
+// checks ctx every cancelCheckStride episodes and, when the context
+// ends, stops early and returns the statistics accumulated so far
+// together with ctx's error. A run that completes all n episodes
+// returns a nil error and a result bit-identical to MonteCarloObs with
+// the same arguments — cancellation is the only behavioural difference,
+// so the determinism guarantees carry over unchanged.
+//
+// The long-running plan/estimate service uses this to abandon
+// simulations whose requester has gone away (client disconnect or
+// per-request deadline) without tearing down the worker that ran them.
+func MonteCarloCtx(ctx context.Context, policy Policy, owner Owner, c float64, n int, seed uint64, o Obs) (MonteCarloResult, error) {
+	src := rng.New(seed)
+	m := newSimMetrics(o.Metrics, c)
+	batch := obs.NewSpanner(o.Sink).Start(0, -1, "mc-batch", obs.SpanAttrs{Tasks: n})
+	emit := o.episodeEmitIn(0, m, batch)
+	var work, lost, periods stats.Running
+	var reclaimed int64
+	var err error
+	done := 0
+	for ; done < n; done++ {
+		if done%cancelCheckStride == 0 {
+			if err = ctx.Err(); err != nil {
+				break
+			}
+		}
+		r := owner.ReclaimAfter(src)
+		res := runEpisodeMaybe(policy, c, r, emit)
+		m.episodeDone()
+		work.Add(res.Work)
+		lost.Add(res.Lost)
+		periods.Add(float64(res.PeriodsCommitted))
+		if res.Reclaimed {
+			reclaimed++
+		}
+	}
+	batch.End(float64(done))
+	return MonteCarloResult{
+		Work:      stats.Summarize(&work),
+		Lost:      stats.Summarize(&lost),
+		Periods:   stats.Summarize(&periods),
+		Reclaimed: reclaimed,
+		Episodes:  int64(done),
+	}, err
+}

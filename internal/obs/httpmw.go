@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// ResponseRecorder wraps a ResponseWriter and captures the status code
+// actually sent, so middleware can attribute a request to its outcome.
+// A handler that writes a body without an explicit WriteHeader is
+// recorded as 200, matching net/http's behaviour.
+type ResponseRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+// NewResponseRecorder wraps w.
+func NewResponseRecorder(w http.ResponseWriter) *ResponseRecorder {
+	return &ResponseRecorder{ResponseWriter: w}
+}
+
+// WriteHeader records the first status code and forwards it.
+func (r *ResponseRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Write forwards the body, defaulting the recorded status to 200 the
+// way the underlying ResponseWriter does.
+func (r *ResponseRecorder) Write(p []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.ResponseWriter.Write(p)
+}
+
+// Code returns the recorded status code (200 when the handler wrote a
+// body without WriteHeader, 0 when nothing was written at all).
+func (r *ResponseRecorder) Code() int { return r.code }
+
+// InstrumentHandler wraps next so every request updates two series on
+// reg:
+//
+//	cs_http_requests_total{route="<route>",code="<status>"}  counter
+//	cs_http_request_ms{route="<route>"}                      quantile summary
+//
+// The latency summary is a QuantileHist (p50/p90/p99/p999 at fixed
+// relative error), recorded in milliseconds. Routes are a closed,
+// caller-chosen vocabulary — never derived from the request path — so
+// the label space stays bounded.
+func InstrumentHandler(reg *Registry, route string, next http.Handler) http.Handler {
+	if reg == nil {
+		return next
+	}
+	lat := reg.Quantiles(Labeled("cs_http_request_ms", "route", route),
+		"HTTP request latency in milliseconds (log-bucketed quantile summary)")
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		rec := NewResponseRecorder(w)
+		start := time.Now()
+		next.ServeHTTP(rec, req)
+		lat.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		code := rec.Code()
+		if code == 0 {
+			code = http.StatusOK
+		}
+		reg.Counter(Labeled("cs_http_requests_total", "route", route, "code", strconv.Itoa(code)),
+			"HTTP requests by route and status code").Inc()
+	})
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestInstrumentHandlerRecordsStatusAndLatency(t *testing.T) {
+	reg := NewRegistry()
+	h := InstrumentHandler(reg, "plan", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("fail") != "" {
+			http.Error(w, "nope", http.StatusTooManyRequests)
+			return
+		}
+		_, _ = w.Write([]byte("ok")) // implicit 200
+	}))
+
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/plan", nil))
+		if rec.Code != 200 {
+			t.Fatalf("status = %d, want 200", rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/plan?fail=1", nil))
+	if rec.Code != 429 {
+		t.Fatalf("status = %d, want 429", rec.Code)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`cs_http_requests_total{route="plan",code="200"} 3`,
+		`cs_http_requests_total{route="plan",code="429"} 1`,
+		`cs_http_request_ms{route="plan",quantile="0.99"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if got := reg.Quantiles(Labeled("cs_http_request_ms", "route", "plan"), "").Count(); got != 4 {
+		t.Errorf("latency observations = %d, want 4", got)
+	}
+}
+
+func TestInstrumentHandlerNilRegistryPassesThrough(t *testing.T) {
+	called := false
+	h := InstrumentHandler(nil, "x", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		called = true
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if !called || rec.Code != http.StatusNoContent {
+		t.Fatalf("pass-through failed: called=%v code=%d", called, rec.Code)
+	}
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// CacheMetrics are the optional counters a Cache updates. Nil fields
+// are skipped, so unit tests can run an unobserved cache.
+type CacheMetrics struct {
+	Hits      *obs.Counter
+	Misses    *obs.Counter
+	Evictions *obs.Counter
+}
+
+// Cache is a sharded LRU map from canonical spec keys to computed
+// responses. Sharding bounds lock contention on the hot hit path: a
+// key's shard is chosen by FNV-1a hash, and each shard holds its own
+// mutex, map and recency list. Capacity is enforced per shard
+// (ceil(capacity/shards)), so total residency never exceeds
+// capacity + shards - 1 entries.
+type Cache struct {
+	shards []cacheShard
+	m      CacheMetrics
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	ll  *list.List // front = most recently used
+	idx map[string]*list.Element
+	cap int
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// NewCache builds a cache holding roughly capacity entries across the
+// given number of shards. capacity <= 0 disables caching (every Get
+// misses, Put is a no-op); shards <= 0 defaults to 16, clamped so each
+// shard holds at least one entry.
+func NewCache(capacity, shards int, m CacheMetrics) *Cache {
+	if capacity <= 0 {
+		return &Cache{m: m}
+	}
+	if shards <= 0 {
+		shards = 16
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	perShard := (capacity + shards - 1) / shards
+	c := &Cache{shards: make([]cacheShard, shards), m: m}
+	for i := range c.shards {
+		c.shards[i].ll = list.New()
+		c.shards[i].idx = make(map[string]*list.Element)
+		c.shards[i].cap = perShard
+	}
+	return c
+}
+
+// fnv1a is the 32-bit FNV-1a hash, inlined to keep shard selection
+// allocation-free.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (c *Cache) shard(key string) *cacheShard {
+	return &c.shards[fnv1a(key)%uint32(len(c.shards))]
+}
+
+// Get returns the cached value for key and marks it most recently
+// used.
+func (c *Cache) Get(key string) (any, bool) {
+	if len(c.shards) == 0 {
+		if c.m.Misses != nil {
+			c.m.Misses.Inc()
+		}
+		return nil, false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	el, ok := s.idx[key]
+	var val any
+	if ok {
+		s.ll.MoveToFront(el)
+		val = el.Value.(*cacheEntry).val
+	}
+	s.mu.Unlock()
+	if !ok {
+		if c.m.Misses != nil {
+			c.m.Misses.Inc()
+		}
+		return nil, false
+	}
+	if c.m.Hits != nil {
+		c.m.Hits.Inc()
+	}
+	return val, true
+}
+
+// Put stores val under key, evicting the shard's least recently used
+// entry when the shard is full. Storing an existing key refreshes its
+// value and recency.
+func (c *Cache) Put(key string, val any) {
+	if len(c.shards) == 0 {
+		return
+	}
+	s := c.shard(key)
+	evicted := false
+	s.mu.Lock()
+	if el, ok := s.idx[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		s.ll.MoveToFront(el)
+	} else {
+		s.idx[key] = s.ll.PushFront(&cacheEntry{key: key, val: val})
+		if s.ll.Len() > s.cap {
+			last := s.ll.Back()
+			s.ll.Remove(last)
+			delete(s.idx, last.Value.(*cacheEntry).key)
+			evicted = true
+		}
+	}
+	s.mu.Unlock()
+	if evicted && c.m.Evictions != nil {
+		c.m.Evictions.Inc()
+	}
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

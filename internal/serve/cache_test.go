@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// A single-shard cache must evict in exact LRU order, with Get
+// refreshing recency.
+func TestCacheLRUEvictionOrder(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := CacheMetrics{
+		Hits:      reg.Counter("h", ""),
+		Misses:    reg.Counter("m", ""),
+		Evictions: reg.Counter("e", ""),
+	}
+	c := NewCache(3, 1, m)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	if _, ok := c.Get("a"); !ok { // refresh a: LRU order is now b, c, a
+		t.Fatal("a missing")
+	}
+	c.Put("d", 4) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	// These Gets refresh recency too: LRU order becomes d, c, a.
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s should be resident", k)
+		}
+	}
+	c.Put("e", 5) // evicts a (c and d were refreshed after it)
+	if _, ok := c.Get("a"); ok {
+		t.Error("a should have been evicted")
+	}
+	for _, k := range []string{"c", "d", "e"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s should be resident", k)
+		}
+	}
+	if got := c.Len(); got != 3 {
+		t.Errorf("Len = %d, want 3", got)
+	}
+	if got := m.Evictions.Value(); got != 2 {
+		t.Errorf("evictions = %d, want 2", got)
+	}
+	// 7 hits (a, a, c, d, c, d, e) and 2 misses (b, a).
+	if h, miss := m.Hits.Value(), m.Misses.Value(); h != 7 || miss != 2 {
+		t.Errorf("hits/misses = %d/%d, want 7/2", h, miss)
+	}
+}
+
+func TestCachePutRefreshesExistingKey(t *testing.T) {
+	c := NewCache(2, 1, CacheMetrics{})
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("a", 10) // refresh, not insert: b stays resident
+	c.Put("c", 3)  // evicts b
+	if v, ok := c.Get("a"); !ok || v.(int) != 10 {
+		t.Errorf("a = %v/%v, want 10/true", v, ok)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+}
+
+func TestCacheZeroCapacityDisables(t *testing.T) {
+	c := NewCache(0, 4, CacheMetrics{})
+	c.Put("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Error("zero-capacity cache should never hit")
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d, want 0", c.Len())
+	}
+}
+
+// Concurrent readers and writers across shards; run under -race this
+// is the cache's data-race gate.
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache(128, 8, CacheMetrics{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (w*31+i)%200)
+				if i%3 == 0 {
+					c.Put(key, i)
+				} else {
+					c.Get(key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Len(); got > 128+8-1 {
+		t.Errorf("Len = %d, exceeds capacity slack", got)
+	}
+}
+
+// Keys must spread across shards (FNV-1a is fine; this guards against
+// a future refactor accidentally pinning everything to shard 0).
+func TestCacheShardSpread(t *testing.T) {
+	c := NewCache(1000, 8, CacheMetrics{})
+	for i := 0; i < 200; i++ {
+		c.Put(fmt.Sprintf("plan|life=uniform|L=%d", i), i)
+	}
+	used := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		if s.ll.Len() > 0 {
+			used++
+		}
+		s.mu.Unlock()
+	}
+	if used < 4 {
+		t.Errorf("only %d of 8 shards used", used)
+	}
+}

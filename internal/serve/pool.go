@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// ErrQueueFull reports that the pool's bounded queue rejected a
+// submission. Handlers map it to 429 Too Many Requests with a
+// Retry-After hint: under overload the service sheds load at the door
+// instead of queueing unboundedly and timing everyone out.
+var ErrQueueFull = errors.New("serve: worker queue full")
+
+// ErrPoolClosed reports a submission to a draining or closed pool.
+var ErrPoolClosed = errors.New("serve: pool closed")
+
+// Pool is a fixed-size worker pool with a bounded queue. Submissions
+// never block: a full queue fails fast with ErrQueueFull. A task whose
+// context has already ended by the time a worker picks it up is
+// skipped entirely, so a burst of abandoned requests cannot occupy the
+// workers.
+type Pool struct {
+	mu     sync.RWMutex // guards closed vs. sends on tasks
+	closed bool
+	tasks  chan poolTask
+	wg     sync.WaitGroup
+
+	depth   *obs.Gauge   // queued + running tasks; nil-safe
+	skipped *obs.Counter // tasks whose ctx ended before a worker ran them
+}
+
+type poolTask struct {
+	ctx  context.Context
+	fn   func(context.Context)
+	done chan struct{}
+}
+
+// NewPool starts workers goroutines servicing a queue of the given
+// capacity. workers <= 0 defaults to 1; queue < 0 defaults to 0 (only
+// hand-off, no buffering). depth and skipped may be nil.
+func NewPool(workers, queue int, depth *obs.Gauge, skipped *obs.Counter) *Pool {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	p := &Pool{tasks: make(chan poolTask, queue), depth: depth, skipped: skipped}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.tasks {
+		if t.ctx.Err() == nil {
+			t.fn(t.ctx)
+		} else if p.skipped != nil {
+			p.skipped.Inc()
+		}
+		if p.depth != nil {
+			p.depth.Add(-1)
+		}
+		close(t.done)
+	}
+}
+
+// Do submits fn and waits until a worker has finished running it or
+// ctx ends, whichever comes first. fn receives ctx and is expected to
+// honour its cancellation (the Monte-Carlo runner checks it between
+// episodes). When Do returns ctx.Err() the task may still be queued —
+// the worker that eventually dequeues it sees the dead context and
+// skips it, keeping the pool usable after any number of abandoned
+// requests.
+func (p *Pool) Do(ctx context.Context, fn func(context.Context)) error {
+	t := poolTask{ctx: ctx, fn: fn, done: make(chan struct{})}
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return ErrPoolClosed
+	}
+	select {
+	case p.tasks <- t:
+	default:
+		p.mu.RUnlock()
+		return ErrQueueFull
+	}
+	if p.depth != nil {
+		p.depth.Add(1)
+	}
+	p.mu.RUnlock()
+	select {
+	case <-t.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// QueueDepth returns the number of tasks currently queued (excluding
+// ones a worker has already dequeued).
+func (p *Pool) QueueDepth() int { return len(p.tasks) }
+
+// QueueCap returns the queue capacity.
+func (p *Pool) QueueCap() int { return cap(p.tasks) }
+
+// Close drains the pool: it stops accepting submissions, lets the
+// workers finish every task already queued, and returns when they have
+// exited. Safe to call more than once.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

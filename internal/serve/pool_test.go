@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestPoolRunsSubmittedWork(t *testing.T) {
+	p := NewPool(2, 4, nil, nil)
+	defer p.Close()
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				err := p.Do(context.Background(), func(context.Context) { ran.Add(1) })
+				if err == nil {
+					return
+				}
+				if !errors.Is(err, ErrQueueFull) {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ran.Load(); got != 20 {
+		t.Errorf("ran = %d, want 20", got)
+	}
+}
+
+// A full queue must reject immediately with ErrQueueFull, not block.
+func TestPoolBackpressure(t *testing.T) {
+	p := NewPool(1, 1, nil, nil)
+	defer p.Close()
+	block := make(chan struct{})
+	occupied := make(chan struct{})
+	go func() {
+		_ = p.Do(context.Background(), func(context.Context) {
+			close(occupied)
+			<-block
+		})
+	}()
+	<-occupied
+	// Fill the one queue slot and wait until the task is really queued
+	// (the worker is parked, so the depth cannot drop again).
+	queued := make(chan error, 1)
+	go func() {
+		queued <- p.Do(context.Background(), func(context.Context) {})
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for p.QueueDepth() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("filler task never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := p.Do(context.Background(), func(context.Context) {}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Do on a full queue = %v, want ErrQueueFull", err)
+	}
+	close(block)
+	if err := <-queued; err != nil {
+		t.Fatalf("queued task failed: %v", err)
+	}
+}
+
+// A request abandoned by deadline — while queued or while running —
+// must leave the pool fully usable.
+func TestPoolDeadlineLeavesPoolUsable(t *testing.T) {
+	reg := obs.NewRegistry()
+	skipped := reg.Counter("skipped", "")
+	p := NewPool(1, 4, reg.Gauge("depth", ""), skipped)
+	defer p.Close()
+
+	block := make(chan struct{})
+	occupied := make(chan struct{})
+	go func() {
+		_ = p.Do(context.Background(), func(context.Context) {
+			close(occupied)
+			<-block
+		})
+	}()
+	<-occupied
+
+	// Queue a task, then abandon it before any worker is free.
+	ctx, cancel := context.WithCancel(context.Background())
+	var abandonedRan atomic.Bool
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- p.Do(ctx, func(context.Context) { abandonedRan.Store(true) })
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned Do = %v, want context.Canceled", err)
+	}
+
+	// Release the worker; the dead task must be skipped, and new work
+	// must still run.
+	close(block)
+	var ran atomic.Bool
+	if err := p.Do(context.Background(), func(context.Context) { ran.Store(true) }); err != nil {
+		t.Fatalf("pool unusable after abandoned request: %v", err)
+	}
+	if !ran.Load() {
+		t.Error("follow-up task did not run")
+	}
+	if abandonedRan.Load() {
+		t.Error("abandoned task ran anyway")
+	}
+	if skipped.Value() != 1 {
+		t.Errorf("skipped = %d, want 1", skipped.Value())
+	}
+}
+
+// A task running when its context expires keeps its worker only until
+// the fn returns (the fn is responsible for honouring ctx); Do itself
+// returns promptly with the context error.
+func TestPoolDoReturnsOnDeadlineWhileRunning(t *testing.T) {
+	// Queue capacity 1: a zero-capacity queue only accepts a task while
+	// a worker is already parked in receive, which races with pool
+	// startup.
+	p := NewPool(1, 1, nil, nil)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	finish := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- p.Do(ctx, func(taskCtx context.Context) {
+			close(started)
+			<-taskCtx.Done()
+			<-finish
+		})
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Do = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Do did not return after cancellation")
+	}
+	close(finish) // let the worker finish the orphaned fn
+}
+
+// Close must drain queued work before returning, and reject later
+// submissions with ErrPoolClosed.
+func TestPoolCloseDrains(t *testing.T) {
+	p := NewPool(1, 8, nil, nil)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = p.Do(context.Background(), func(context.Context) {
+				time.Sleep(2 * time.Millisecond)
+				ran.Add(1)
+			})
+		}()
+	}
+	wg.Wait() // every Do returned, so every task ran
+	p.Close()
+	if got := ran.Load(); got != 6 {
+		t.Errorf("ran = %d before Close returned, want 6", got)
+	}
+	if err := p.Do(context.Background(), func(context.Context) {}); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("Do after Close = %v, want ErrPoolClosed", err)
+	}
+	p.Close() // idempotent
+}

@@ -1,0 +1,494 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/nowsim"
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// production-shaped default.
+type Config struct {
+	// Workers is the simulation worker-pool size (default GOMAXPROCS).
+	Workers int
+	// Queue is the bounded request-queue capacity (default 64). A full
+	// queue answers 429 immediately.
+	Queue int
+	// PlanCacheEntries / EstimateCacheEntries size the two LRU caches
+	// (defaults 4096 and 512; negative disables a cache).
+	PlanCacheEntries     int
+	EstimateCacheEntries int
+	// CacheShards is the shard count of each cache (default 16).
+	CacheShards int
+	// DefaultTimeout bounds a request that names no timeout_ms
+	// (default 10s); MaxTimeout clamps what a request may ask for
+	// (default 60s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxEpisodes caps /v1/estimate episode counts (default 2e6,
+	// hard-capped at MaxEpisodesLimit).
+	MaxEpisodes int
+	// Registry receives all metrics; a private one is created when nil.
+	Registry *obs.Registry
+	// Flight, when non-nil, receives one obs.Event per served request
+	// (Kind "http:<route>", Period = status code, Length = latency in
+	// milliseconds) — the post-mortem tail for crashed or misbehaving
+	// serves.
+	Flight *obs.FlightRecorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Queue == 0 {
+		c.Queue = 64
+	}
+	if c.PlanCacheEntries == 0 {
+		c.PlanCacheEntries = 4096
+	}
+	if c.EstimateCacheEntries == 0 {
+		c.EstimateCacheEntries = 512
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 16
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.MaxEpisodes <= 0 || c.MaxEpisodes > MaxEpisodesLimit {
+		c.MaxEpisodes = 2_000_000
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}
+
+// Server answers plan and estimate queries behind the cache /
+// coalescing / worker-pool stack. Create with New, mount with Routes,
+// stop with Drain.
+type Server struct {
+	cfg       Config
+	reg       *obs.Registry
+	pool      *Pool
+	flights   *flightGroup
+	planCache *Cache
+	estCache  *Cache
+
+	start    time.Time
+	draining atomic.Bool
+
+	coalesced  *obs.Counter
+	rejected   *obs.Counter
+	cancelled  *obs.Counter
+	planErrors *obs.Counter
+	episodes   *obs.Counter
+}
+
+// New builds a Server from cfg and registers its metric set on the
+// registry.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := cfg.Registry
+	cacheCounters := func(route string) CacheMetrics {
+		return CacheMetrics{
+			Hits:      reg.Counter(obs.Labeled("cs_serve_cache_hits_total", "route", route), "responses served from the spec-keyed LRU cache"),
+			Misses:    reg.Counter(obs.Labeled("cs_serve_cache_misses_total", "route", route), "requests that had to compute"),
+			Evictions: reg.Counter(obs.Labeled("cs_serve_cache_evictions_total", "route", route), "LRU entries displaced by new ones"),
+		}
+	}
+	s := &Server{
+		cfg:       cfg,
+		reg:       reg,
+		flights:   newFlightGroup(),
+		planCache: NewCache(cfg.PlanCacheEntries, cfg.CacheShards, cacheCounters("plan")),
+		estCache:  NewCache(cfg.EstimateCacheEntries, cfg.CacheShards, cacheCounters("estimate")),
+		start:     time.Now(),
+		coalesced: reg.Counter("cs_serve_coalesced_total", "requests that shared another request's in-flight computation"),
+		rejected:  reg.Counter("cs_serve_rejected_total", "requests shed with 429 because the worker queue was full"),
+		cancelled: reg.Counter("cs_serve_cancelled_total", "requests abandoned by deadline or client disconnect"),
+		planErrors: reg.Counter("cs_serve_compute_errors_total",
+			"requests whose planning or simulation failed (unplannable life function, ...)"),
+		episodes: reg.Counter("cs_serve_episodes_simulated_total", "Monte-Carlo episodes run on behalf of /v1/estimate"),
+	}
+	s.pool = NewPool(cfg.Workers, cfg.Queue,
+		reg.Gauge("cs_serve_queue_depth", "requests queued or running in the worker pool"),
+		reg.Counter("cs_serve_pool_skipped_total", "queued tasks skipped because their request had already been abandoned"))
+	return s
+}
+
+// Registry returns the registry the server publishes to.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Routes mounts the service endpoints on mux. Each route is wrapped in
+// the obs latency/status middleware and, when configured, the flight
+// recorder.
+func (s *Server) Routes(mux *http.ServeMux) {
+	mux.Handle("POST /v1/plan", s.instrument("plan", http.HandlerFunc(s.handlePlan)))
+	mux.Handle("POST /v1/estimate", s.instrument("estimate", http.HandlerFunc(s.handleEstimate)))
+	mux.Handle("GET /v1/healthz", s.instrument("healthz", http.HandlerFunc(s.handleHealthz)))
+}
+
+func (s *Server) instrument(route string, h http.Handler) http.Handler {
+	inner := h
+	if s.cfg.Flight != nil {
+		fl := s.cfg.Flight
+		inner = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			rec := obs.NewResponseRecorder(w)
+			reqStart := time.Now()
+			h.ServeHTTP(rec, r)
+			fl.Emit(obs.Event{
+				Time:   time.Since(s.start).Seconds(),
+				Worker: -1,
+				Kind:   "http:" + route,
+				Period: rec.Code(),
+				Length: float64(time.Since(reqStart)) / float64(time.Millisecond),
+			})
+		})
+	}
+	return obs.InstrumentHandler(s.reg, route, inner)
+}
+
+// Drain flips the server into draining mode (healthz answers 503 so
+// load balancers stop sending traffic) and, once the HTTP layer has
+// finished its in-flight handlers, closes the worker pool. Call after
+// http.Server.Shutdown has returned.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.pool.Close()
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Band is a confidence band over a Monte-Carlo statistic.
+type Band struct {
+	Mean   float64 `json:"mean"`
+	StdErr float64 `json:"stderr"`
+	CI95Lo float64 `json:"ci95_lo"`
+	CI95Hi float64 `json:"ci95_hi"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	N      int64   `json:"n"`
+}
+
+func bandOf(sum stats.Summary) Band {
+	return Band{
+		Mean:   sum.Mean,
+		StdErr: sum.StdErr,
+		CI95Lo: sum.Mean - sum.CI95,
+		CI95Hi: sum.Mean + sum.CI95,
+		Min:    sum.Min,
+		Max:    sum.Max,
+		N:      sum.N,
+	}
+}
+
+// maxPeriodsReturned caps the schedule prefix included in a plan
+// response; the full length travels in periods_total.
+const maxPeriodsReturned = 128
+
+// PlanResponse is the body of a successful POST /v1/plan.
+type PlanResponse struct {
+	Key           string     `json:"key"`
+	Life          string     `json:"life"`
+	C             float64    `json:"c"`
+	T0            float64    `json:"t0"`
+	Bracket       [2]float64 `json:"bracket"`
+	Periods       []float64  `json:"periods"`
+	PeriodsTotal  int        `json:"periods_total"`
+	TotalDuration float64    `json:"total_duration"`
+	ExpectedWork  float64    `json:"expected_work"`
+	Evaluations   int        `json:"evaluations"`
+	// Cached / Coalesced describe how this request was served; they are
+	// stamped per response and never stored in the cache entry.
+	Cached    bool `json:"cached"`
+	Coalesced bool `json:"coalesced"`
+	// ElapsedMS is the server-side time spent producing this response —
+	// for a cache hit, the lookup; for a miss, queueing plus planning.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// EstimateResponse is the body of a successful POST /v1/estimate.
+type EstimateResponse struct {
+	Key               string  `json:"key"`
+	Life              string  `json:"life"`
+	C                 float64 `json:"c"`
+	Policy            string  `json:"policy"`
+	Episodes          int64   `json:"episodes"`
+	Seed              uint64  `json:"seed"`
+	Work              Band    `json:"work"`
+	Lost              Band    `json:"lost"`
+	Periods           Band    `json:"periods"`
+	ReclaimedFraction float64 `json:"reclaimed_fraction"`
+	// AnalyticE is E(S; p) from the planner when the policy is
+	// guideline — the model-vs-simulation comparison in one response.
+	AnalyticE *float64 `json:"analytic_expected_work,omitempty"`
+	Cached    bool     `json:"cached"`
+	Coalesced bool     `json:"coalesced"`
+	ElapsedMS float64  `json:"elapsed_ms"`
+}
+
+// httpError is a JSON error payload.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, httpError{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeComputeError maps a failed computation to a status code. Queue
+// rejection and abandonment get distinct codes so clients can tell
+// "retry shortly" (429) from "give this request more time" (504).
+func (s *Server) writeComputeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		s.rejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "worker queue full, retry shortly")
+	case errors.Is(err, ErrPoolClosed):
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.cancelled.Inc()
+		writeError(w, http.StatusGatewayTimeout, "request abandoned: %v", err)
+	default:
+		s.planErrors.Inc()
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+	}
+}
+
+// decode reads a JSON body into v, rejecting unknown fields and bodies
+// over 1 MiB.
+func decode(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// requestCtx derives the per-request deadline context: the spec's
+// timeout_ms clamped to MaxTimeout, or DefaultTimeout.
+func (s *Server) requestCtx(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	reqStart := time.Now()
+	var spec PlanSpec
+	if err := decode(w, r, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	spec, err := spec.normalize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key := spec.key()
+	if v, ok := s.planCache.Get(key); ok {
+		resp := v.(PlanResponse)
+		resp.Cached = true
+		resp.ElapsedMS = msSince(reqStart)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	ctx, cancel := s.requestCtx(r, spec.TimeoutMS)
+	defer cancel()
+	v, shared, err := s.flights.Do(ctx, key, func(runCtx context.Context) (any, error) {
+		var resp PlanResponse
+		var compErr error
+		if poolErr := s.pool.Do(runCtx, func(context.Context) {
+			resp, compErr = s.computePlan(spec, key)
+		}); poolErr != nil {
+			return nil, poolErr
+		}
+		if compErr != nil {
+			return nil, compErr
+		}
+		s.planCache.Put(key, resp)
+		return resp, nil
+	})
+	if shared {
+		s.coalesced.Inc()
+	}
+	if err != nil {
+		s.writeComputeError(w, err)
+		return
+	}
+	resp := v.(PlanResponse)
+	resp.Coalesced = shared
+	resp.ElapsedMS = msSince(reqStart)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// computePlan runs the guideline planner for a normalized spec.
+func (s *Server) computePlan(spec PlanSpec, key string) (PlanResponse, error) {
+	life, err := spec.buildLife()
+	if err != nil {
+		return PlanResponse{}, err
+	}
+	pol, err := nowsim.ParsePolicy("guideline", life, spec.C, planOptions())
+	if err != nil {
+		return PlanResponse{}, err
+	}
+	plan := *pol.Plan
+	return PlanResponse{
+		Key:           key,
+		Life:          life.String(),
+		C:             spec.C,
+		T0:            plan.T0,
+		Bracket:       [2]float64{plan.Bracket.Lo, plan.Bracket.Hi},
+		Periods:       plan.Schedule.Prefix(maxPeriodsReturned).Periods(),
+		PeriodsTotal:  plan.Schedule.Len(),
+		TotalDuration: plan.Schedule.Total(),
+		ExpectedWork:  plan.ExpectedWork,
+		Evaluations:   plan.Evaluations,
+	}, nil
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	reqStart := time.Now()
+	var spec EstimateSpec
+	if err := decode(w, r, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	spec, err := spec.normalize(s.cfg.MaxEpisodes)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key := spec.key()
+	if v, ok := s.estCache.Get(key); ok {
+		resp := v.(EstimateResponse)
+		resp.Cached = true
+		resp.ElapsedMS = msSince(reqStart)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	ctx, cancel := s.requestCtx(r, spec.TimeoutMS)
+	defer cancel()
+	v, shared, err := s.flights.Do(ctx, key, func(runCtx context.Context) (any, error) {
+		var resp EstimateResponse
+		var compErr error
+		if poolErr := s.pool.Do(runCtx, func(taskCtx context.Context) {
+			resp, compErr = s.computeEstimate(taskCtx, spec, key)
+		}); poolErr != nil {
+			return nil, poolErr
+		}
+		if compErr != nil {
+			return nil, compErr
+		}
+		s.estCache.Put(key, resp)
+		return resp, nil
+	})
+	if shared {
+		s.coalesced.Inc()
+	}
+	if err != nil {
+		s.writeComputeError(w, err)
+		return
+	}
+	resp := v.(EstimateResponse)
+	resp.Coalesced = shared
+	resp.ElapsedMS = msSince(reqStart)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// computeEstimate runs the seeded Monte-Carlo for a normalized spec,
+// honouring ctx between episodes.
+func (s *Server) computeEstimate(ctx context.Context, spec EstimateSpec, key string) (EstimateResponse, error) {
+	life, err := spec.buildLife()
+	if err != nil {
+		return EstimateResponse{}, err
+	}
+	pol, err := spec.parsePolicy(life)
+	if err != nil {
+		return EstimateResponse{}, err
+	}
+	res, err := nowsim.MonteCarloCtx(ctx, pol.Factory(), nowsim.LifeOwner{Life: life}, spec.C, spec.Episodes, spec.Seed, nowsim.Obs{})
+	s.episodes.Add(uint64(res.Episodes))
+	if err != nil {
+		return EstimateResponse{}, err
+	}
+	resp := EstimateResponse{
+		Key:      key,
+		Life:     life.String(),
+		C:        spec.C,
+		Policy:   pol.Name,
+		Episodes: res.Episodes,
+		Seed:     spec.Seed,
+		Work:     bandOf(res.Work),
+		Lost:     bandOf(res.Lost),
+		Periods:  bandOf(res.Periods),
+	}
+	if res.Episodes > 0 {
+		resp.ReclaimedFraction = float64(res.Reclaimed) / float64(res.Episodes)
+	}
+	if pol.Plan != nil {
+		e := pol.Plan.ExpectedWork
+		resp.AnalyticE = &e
+	}
+	return resp, nil
+}
+
+// Healthz is the body of GET /v1/healthz.
+type Healthz struct {
+	Status           string  `json:"status"`
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+	Workers          int     `json:"workers"`
+	QueueDepth       int     `json:"queue_depth"`
+	QueueCapacity    int     `json:"queue_capacity"`
+	PlanCacheEntries int     `json:"plan_cache_entries"`
+	EstCacheEntries  int     `json:"estimate_cache_entries"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := Healthz{
+		Status:           "ok",
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+		Workers:          s.cfg.Workers,
+		QueueDepth:       s.pool.QueueDepth(),
+		QueueCapacity:    s.pool.QueueCap(),
+		PlanCacheEntries: s.planCache.Len(),
+		EstCacheEntries:  s.estCache.Len(),
+	}
+	status := http.StatusOK
+	if s.draining.Load() {
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup coalesces concurrent calls that share a key: the first
+// caller becomes the leader and runs fn once in its own goroutine;
+// everyone (leader included) waits for that one result. The
+// computation runs on a context owned by the group, cancelled only
+// when every waiter has abandoned the call — one impatient client
+// cannot kill a result three other clients still want, but a
+// computation nobody is waiting for stops burning a worker.
+type flightGroup struct {
+	mu sync.Mutex // guards m and every flightCall's waiters/shared
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done    chan struct{} // closed when val/err are set
+	val     any
+	err     error
+	waiters int
+	shared  bool // a second waiter ever joined
+	cancel  context.CancelFunc
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flightCall)}
+}
+
+// Do returns fn's result for key, running fn at most once per key at a
+// time. The bool reports whether the result (or error) was shared with
+// other callers. When ctx ends before the computation finishes, Do
+// returns ctx's error; if that caller was the last waiter the
+// computation's context is cancelled too.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func(context.Context) (any, error)) (any, bool, error) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		c.waiters++
+		c.shared = true
+		g.mu.Unlock()
+		return g.wait(ctx, c)
+	}
+	runCtx, cancel := context.WithCancel(context.Background())
+	c := &flightCall{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	g.m[key] = c
+	g.mu.Unlock()
+	go func() {
+		v, err := fn(runCtx)
+		g.mu.Lock()
+		c.val, c.err = v, err
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+		cancel()
+	}()
+	//lint:allow goroutinecap c.val/c.err are published before close(c.done) and read only after it; waiters/shared are guarded by g.mu
+	return g.wait(ctx, c)
+}
+
+// wait blocks until the call completes or ctx ends. Leaving as the
+// last waiter cancels the computation.
+func (g *flightGroup) wait(ctx context.Context, c *flightCall) (any, bool, error) {
+	select {
+	case <-c.done:
+		return c.val, c.shared, c.err
+	case <-ctx.Done():
+	}
+	// The caller gave up. If the call completed in the meantime,
+	// prefer its result — it is already paid for.
+	select {
+	case <-c.done:
+		return c.val, c.shared, c.err
+	default:
+	}
+	g.mu.Lock()
+	c.waiters--
+	last := c.waiters == 0
+	shared := c.shared
+	g.mu.Unlock()
+	if last {
+		c.cancel()
+	}
+	return nil, shared, ctx.Err()
+}

@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the serving layer: boots csserve, drives it
+# with csload, and asserts the scaling behaviour the design promises —
+# cache speedup on identical requests, coalescing of concurrent
+# duplicates, 429 load-shedding on a saturated pool, and a live
+# /metrics surface. Artifacts (server log, metrics scrape, load
+# reports) land in $SMOKE_DIR for CI to upload on failure.
+#
+# Requires: jq, curl.
+set -euo pipefail
+
+SMOKE_DIR="${SMOKE_DIR:-serve-smoke-out}"
+PORT="${SMOKE_PORT:-18080}"
+BURST_PORT=$((PORT + 1))
+GO="${GO:-go}"
+
+mkdir -p "$SMOKE_DIR"
+rm -f "$SMOKE_DIR"/*.json "$SMOKE_DIR"/*.txt "$SMOKE_DIR"/*.log
+
+SERVER_PID=""
+BURST_PID=""
+cleanup() {
+  status=$?
+  if [ $status -ne 0 ]; then
+    echo "serve-smoke: FAILED (artifacts in $SMOKE_DIR)" >&2
+    # Ask the server for a post-mortem flight dump before it dies.
+    [ -n "$SERVER_PID" ] && kill -QUIT "$SERVER_PID" 2>/dev/null && sleep 0.5 || true
+  fi
+  [ -n "$SERVER_PID" ] && kill -TERM "$SERVER_PID" 2>/dev/null || true
+  [ -n "$BURST_PID" ] && kill -TERM "$BURST_PID" 2>/dev/null || true
+  wait 2>/dev/null || true
+  exit $status
+}
+trap cleanup EXIT
+
+$GO build -o bin/csserve ./cmd/csserve
+$GO build -o bin/csload ./cmd/csload
+
+wait_healthy() {
+  local port=$1
+  for _ in $(seq 1 100); do
+    if curl -sf "http://127.0.0.1:$port/v1/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "serve-smoke: server on :$port never became healthy" >&2
+  return 1
+}
+
+# --- main server: cache, coalescing and metrics assertions ----------
+./bin/csserve -addr "127.0.0.1:$PORT" -flight 4096 \
+  2>"$SMOKE_DIR/server.log" >"$SMOKE_DIR/server.out" &
+SERVER_PID=$!
+wait_healthy "$PORT"
+
+echo "serve-smoke: cold/warm plan waves"
+./bin/csload -addr "http://127.0.0.1:$PORT" -endpoint plan \
+  -requests 24 -concurrency 8 -waves 2 >"$SMOKE_DIR/load-plan.json"
+jq -e '.waves[0].ok == 24 and .waves[1].ok == 24' "$SMOKE_DIR/load-plan.json"
+jq -e '[.waves[].errors] | add == 0' "$SMOKE_DIR/load-plan.json"
+jq -e '.waves[1].cached == 24' "$SMOKE_DIR/load-plan.json"
+# The acceptance criterion: the warm wave of identical specs is served
+# >= 10x faster (server-side elapsed, immune to HTTP jitter).
+jq -e '.speedup_server_elapsed >= 10' "$SMOKE_DIR/load-plan.json"
+
+echo "serve-smoke: concurrent identical estimates coalesce"
+./bin/csload -addr "http://127.0.0.1:$PORT" -endpoint estimate \
+  -requests 8 -concurrency 8 -waves 1 -distinct 1 -episodes 300000 \
+  >"$SMOKE_DIR/load-estimate.json"
+jq -e '.waves[0].ok == 8 and .waves[0].errors == 0' "$SMOKE_DIR/load-estimate.json"
+jq -e '.waves[0] | (.requests - .cached - .coalesced) <= 1' "$SMOKE_DIR/load-estimate.json"
+
+echo "serve-smoke: metrics surface"
+curl -sf "http://127.0.0.1:$PORT/metrics" >"$SMOKE_DIR/metrics.txt"
+grep -q 'cs_http_request_ms{route="plan",quantile="0.99"}' "$SMOKE_DIR/metrics.txt"
+# Cache hit ratio must be nonzero after the warm wave.
+awk '$1 == "cs_serve_cache_hits_total{route=\"plan\"}" { hits = $2 }
+     END { exit (hits > 0 ? 0 : 1) }' "$SMOKE_DIR/metrics.txt"
+
+echo "serve-smoke: graceful drain"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+grep -q drained "$SMOKE_DIR/server.out"
+SERVER_PID=""
+
+# --- tiny burst server: full queue must shed load with 429 ----------
+echo "serve-smoke: 429 load shedding on a saturated pool"
+./bin/csserve -addr "127.0.0.1:$BURST_PORT" -workers 1 -queue 1 \
+  2>"$SMOKE_DIR/burst-server.log" >/dev/null &
+BURST_PID=$!
+wait_healthy "$BURST_PORT"
+./bin/csload -addr "http://127.0.0.1:$BURST_PORT" -endpoint estimate \
+  -requests 16 -concurrency 16 -waves 1 -episodes 400000 \
+  >"$SMOKE_DIR/load-burst.json"
+# The burst must mix shed (429) and served (200) responses with zero
+# transport errors: load shedding never drops an in-flight response.
+jq -e '.waves[0].errors == 0' "$SMOKE_DIR/load-burst.json"
+jq -e '.waves[0].status["429"] >= 1' "$SMOKE_DIR/load-burst.json"
+jq -e '.waves[0].status["200"] >= 1' "$SMOKE_DIR/load-burst.json"
+jq -e '.waves[0].status | keys - ["200", "429"] == []' "$SMOKE_DIR/load-burst.json"
+kill -TERM "$BURST_PID"
+wait "$BURST_PID"
+BURST_PID=""
+
+echo "serve-smoke: OK"
