@@ -58,7 +58,7 @@ func runApp(argv []string, stdout, stderr io.Writer, ready chan<- string, stop <
 	var (
 		addr        = fs.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
 		workers     = fs.Int("workers", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
-		queue       = fs.Int("queue", 64, "bounded request queue capacity; full queue answers 429")
+		queue       = fs.Int("queue", 64, "bounded request queue capacity (0 = default 64, negative = unbuffered hand-off); full queue answers 429")
 		planCache   = fs.Int("plan-cache", 4096, "plan LRU cache entries (0 = default, negative disables)")
 		estCache    = fs.Int("est-cache", 512, "estimate LRU cache entries (0 = default, negative disables)")
 		shards      = fs.Int("shards", 16, "LRU cache shard count")

@@ -25,7 +25,7 @@ var ErrPoolClosed = errors.New("serve: pool closed")
 type Pool struct {
 	mu     sync.RWMutex // guards closed vs. sends on tasks
 	closed bool
-	tasks  chan poolTask
+	tasks  chan *poolTask
 	wg     sync.WaitGroup
 
 	depth   *obs.Gauge   // queued + running tasks; nil-safe
@@ -35,6 +35,7 @@ type Pool struct {
 type poolTask struct {
 	ctx  context.Context
 	fn   func(context.Context)
+	ran  bool // set by the worker before done closes; read by Do only after <-done
 	done chan struct{}
 }
 
@@ -48,7 +49,7 @@ func NewPool(workers, queue int, depth *obs.Gauge, skipped *obs.Counter) *Pool {
 	if queue < 0 {
 		queue = 0
 	}
-	p := &Pool{tasks: make(chan poolTask, queue), depth: depth, skipped: skipped}
+	p := &Pool{tasks: make(chan *poolTask, queue), depth: depth, skipped: skipped}
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
 		go p.worker()
@@ -61,6 +62,7 @@ func (p *Pool) worker() {
 	for t := range p.tasks {
 		if t.ctx.Err() == nil {
 			t.fn(t.ctx)
+			t.ran = true
 		} else if p.skipped != nil {
 			p.skipped.Inc()
 		}
@@ -72,31 +74,46 @@ func (p *Pool) worker() {
 }
 
 // Do submits fn and waits until a worker has finished running it or
-// ctx ends, whichever comes first. fn receives ctx and is expected to
-// honour its cancellation (the Monte-Carlo runner checks it between
-// episodes). When Do returns ctx.Err() the task may still be queued —
+// ctx ends, whichever comes first. Do returns nil only when fn has
+// actually run to completion: a task skipped because its context ended
+// while queued reports the context error, never success. fn receives
+// ctx and is expected to honour its cancellation (the Monte-Carlo
+// runner checks it between episodes). When Do returns ctx.Err() the
+// task may still be queued —
 // the worker that eventually dequeues it sees the dead context and
 // skips it, keeping the pool usable after any number of abandoned
 // requests.
 func (p *Pool) Do(ctx context.Context, fn func(context.Context)) error {
-	t := poolTask{ctx: ctx, fn: fn, done: make(chan struct{})}
+	t := &poolTask{ctx: ctx, fn: fn, done: make(chan struct{})}
 	p.mu.RLock()
 	if p.closed {
 		p.mu.RUnlock()
 		return ErrPoolClosed
 	}
+	// Count the task before it becomes visible to workers so the gauge
+	// never dips negative when a worker dequeues and decrements first.
+	if p.depth != nil {
+		p.depth.Add(1)
+	}
 	select {
 	case p.tasks <- t:
 	default:
+		if p.depth != nil {
+			p.depth.Add(-1)
+		}
 		p.mu.RUnlock()
 		return ErrQueueFull
-	}
-	if p.depth != nil {
-		p.depth.Add(1)
 	}
 	p.mu.RUnlock()
 	select {
 	case <-t.done:
+		if !t.ran {
+			// The worker skipped the task because ctx had already ended.
+			// When done and ctx.Done() are both ready this branch can
+			// still win the select, so report the (sticky) context error
+			// rather than claiming fn ran.
+			return ctx.Err()
+		}
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()

@@ -122,6 +122,29 @@ func TestPoolDeadlineLeavesPoolUsable(t *testing.T) {
 	}
 }
 
+// A task whose context is already dead when the worker dequeues it must
+// never be reported as success: the worker closes done without running
+// fn, and when done and ctx.Done() are both ready Do's select picks
+// randomly — the done branch has to notice fn never ran. (The old code
+// returned nil here roughly half the time, which let handlers cache
+// zero-valued responses.)
+func TestPoolSkippedTaskNeverReportsSuccess(t *testing.T) {
+	p := NewPool(1, 256, nil, nil)
+	defer p.Close()
+	for i := 0; i < 200; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		var ran atomic.Bool
+		err := p.Do(ctx, func(context.Context) { ran.Store(true) })
+		if ran.Load() {
+			t.Fatal("fn ran despite a pre-cancelled context")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Do with a pre-cancelled ctx = %v, want context.Canceled", err)
+		}
+	}
+}
+
 // A task running when its context expires keeps its worker only until
 // the fn returns (the fn is responsible for honouring ctx); Do itself
 // returns promptly with the context error.

@@ -20,8 +20,10 @@ import (
 type Config struct {
 	// Workers is the simulation worker-pool size (default GOMAXPROCS).
 	Workers int
-	// Queue is the bounded request-queue capacity (default 64). A full
-	// queue answers 429 immediately.
+	// Queue is the bounded request-queue capacity. 0 selects the
+	// default of 64; a negative value selects an unbuffered hand-off
+	// queue (a submission succeeds only while a worker is ready to
+	// take it). A full queue answers 429 immediately.
 	Queue int
 	// PlanCacheEntries / EstimateCacheEntries size the two LRU caches
 	// (defaults 4096 and 512; negative disables a cache).
