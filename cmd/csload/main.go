@@ -5,7 +5,12 @@
 // full planning cost, wave 2 re-sends the same specs and should be
 // served from the LRU cache orders of magnitude faster. The report
 // carries both wall-clock and server-side-elapsed speedups so CI can
-// assert on the latter, which is immune to HTTP jitter.
+// assert on the latter, which is immune to HTTP jitter, plus
+// client-side p50/p99/max latency per wave.
+//
+// Every request carries a W3C traceparent header, so load waves are
+// visible as stitched traces in the server's /debug/traces store; each
+// wave reports the trace ID of its slowest request for direct lookup.
 //
 // Usage:
 //
@@ -30,6 +35,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func main() {
@@ -48,6 +55,8 @@ type waveReport struct {
 	WallMS          float64        `json:"wall_ms"`
 	P50MS           float64        `json:"p50_ms"`
 	P99MS           float64        `json:"p99_ms"`
+	MaxMS           float64        `json:"max_ms"`
+	SlowestTraceID  string         `json:"slowest_trace_id,omitempty"`
 	ServerElapsedMS float64        `json:"server_elapsed_ms_total"`
 }
 
@@ -65,6 +74,7 @@ type result struct {
 	coalesced bool
 	latencyMS float64
 	elapsedMS float64
+	traceID   string
 }
 
 func run(argv []string, stdout, stderr io.Writer) int {
@@ -194,6 +204,10 @@ func runWave(client *http.Client, url string, wave int, bodies [][]byte, concurr
 		}
 		rep.Status[strconv.Itoa(r.status)]++
 		latencies = append(latencies, r.latencyMS)
+		if r.latencyMS > rep.MaxMS || rep.SlowestTraceID == "" {
+			rep.MaxMS = r.latencyMS
+			rep.SlowestTraceID = r.traceID
+		}
 		if r.status == http.StatusOK {
 			rep.OK++
 			rep.ServerElapsedMS += r.elapsedMS
@@ -211,8 +225,17 @@ func runWave(client *http.Client, url string, wave int, bodies [][]byte, concurr
 }
 
 func doRequest(client *http.Client, url string, body []byte) result {
+	// Root a trace per request so the server's spans stitch under it;
+	// the server echoes the trace ID back in X-Trace-Id.
+	tc := obs.NewTraceContext()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return result{}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceparentHeader, tc.Traceparent())
 	start := time.Now()
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	resp, err := client.Do(req)
 	if err != nil {
 		return result{}
 	}
@@ -223,12 +246,17 @@ func doRequest(client *http.Client, url string, body []byte) result {
 		ElapsedMS float64 `json:"elapsed_ms"`
 	}
 	_ = json.NewDecoder(resp.Body).Decode(&payload)
+	traceID := resp.Header.Get(obs.TraceIDHeader)
+	if traceID == "" {
+		traceID = tc.TraceIDString() // older server: still report what we sent
+	}
 	return result{
 		status:    resp.StatusCode,
 		cached:    payload.Cached,
 		coalesced: payload.Coalesced,
 		latencyMS: float64(time.Since(start)) / float64(time.Millisecond),
 		elapsedMS: payload.ElapsedMS,
+		traceID:   traceID,
 	}
 }
 

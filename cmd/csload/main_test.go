@@ -62,6 +62,16 @@ func TestLoadColdWarmPlanWaves(t *testing.T) {
 	if !(cold.P99MS >= cold.P50MS) {
 		t.Errorf("p99 %g < p50 %g", cold.P99MS, cold.P50MS)
 	}
+	for _, w := range rep.Waves {
+		if !(w.MaxMS >= w.P99MS) {
+			t.Errorf("wave %d: max %g < p99 %g", w.Wave, w.MaxMS, w.P99MS)
+		}
+		// Even without a trace store the server echoes X-Trace-Id, so
+		// every wave can name its slowest request's trace.
+		if len(w.SlowestTraceID) != 32 {
+			t.Errorf("wave %d: slowest_trace_id = %q, want 32 hex chars", w.Wave, w.SlowestTraceID)
+		}
+	}
 }
 
 // Identical concurrent estimate specs must coalesce: the wave's

@@ -8,6 +8,15 @@
 //	csmon -addr localhost:9090                 # refresh until the run ends
 //	csmon -addr localhost:9090 -interval 250ms
 //	csmon -addr localhost:9090 -count 1 -plain # one snapshot, no ANSI
+//	csmon -addr localhost:8080 -traces 5       # also show the 5 slowest
+//	                                           # recent request traces
+//
+// With -traces N the dashboard also polls /debug/traces (csserve's
+// tail-sampled request trace store) and renders the N slowest recent
+// requests with their per-phase latency breakdown. Either endpoint may
+// be missing — csserve has no /debug/csrun, csfarm has no trace store —
+// and the dashboard degrades to whichever is present; only when
+// neither answers does it exit 1.
 //
 // Exit status: 0 when the monitored run reaches phase "done" (or after
 // -count polls), 1 when the endpoint cannot be fetched or parsed, 2 on
@@ -39,6 +48,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		interval = fs.Duration("interval", time.Second, "poll interval")
 		count    = fs.Int("count", 0, "stop after this many polls (0: until the run is done)")
 		plain    = fs.Bool("plain", false, "append frames instead of clearing the terminal (for logs and pipes)")
+		traces   = fs.Int("traces", 0, "also show the N slowest recent request traces from /debug/traces (0 disables)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -51,16 +61,38 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	url := "http://" + *addr + "/debug/csrun"
 	client := &http.Client{Timeout: 5 * time.Second}
 	for polls := 0; ; {
-		st, err := fetch(client, url)
-		if err != nil {
-			fmt.Fprintln(stderr, "csmon:", err)
-			return 1
-		}
+		st, statusErr := fetch(client, url)
 		if !*plain {
 			// ANSI clear-screen + home keeps one refreshing frame.
 			fmt.Fprint(stdout, "\x1b[2J\x1b[H")
 		}
-		render(stdout, *addr, st)
+		if statusErr == nil {
+			render(stdout, *addr, st)
+		} else if *traces > 0 {
+			// csserve has a trace store but no run status; monitoring
+			// just the traces is still useful, so note the gap and go
+			// on. Only when the trace fetch fails too is there nothing
+			// left to monitor.
+			fmt.Fprintf(stdout, "csmon %s  status: unavailable (%v)\n", *addr, statusErr)
+		} else {
+			fmt.Fprintln(stderr, "csmon:", statusErr)
+			return 1
+		}
+		if *traces > 0 {
+			tracesURL := fmt.Sprintf("http://%s/debug/traces?order=slowest&limit=%d", *addr, *traces)
+			recs, err := fetchTraces(client, tracesURL)
+			switch {
+			case err == nil:
+				renderTraces(stdout, recs)
+			case statusErr != nil:
+				fmt.Fprintln(stderr, "csmon:", err)
+				return 1
+			default:
+				// The status endpoint may live on a server without a
+				// trace store; keep monitoring, note the gap.
+				fmt.Fprintf(stdout, "traces: unavailable (%v)\n", err)
+			}
+		}
 		polls++
 		if st.Phase == "done" || (*count > 0 && polls >= *count) {
 			return 0
@@ -83,6 +115,39 @@ func fetch(client *http.Client, url string) (obs.RunStatus, error) {
 		return st, fmt.Errorf("decoding %s: %w", url, err)
 	}
 	return st, nil
+}
+
+func fetchTraces(client *http.Client, url string) ([]obs.TraceRecord, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var body struct {
+		Traces []obs.TraceRecord `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", url, err)
+	}
+	return body.Traces, nil
+}
+
+func renderTraces(w io.Writer, recs []obs.TraceRecord) {
+	if len(recs) == 0 {
+		fmt.Fprintln(w, "traces: none sampled yet")
+		return
+	}
+	fmt.Fprintf(w, "%-32s %-9s %4s %9s %8s %8s %8s %6s %-6s\n",
+		"slowest traces", "route", "code", "total_ms", "queue", "coalesce", "compute", "cache", "why")
+	for _, r := range recs {
+		fmt.Fprintf(w, "%-32s %-9s %4d %9.2f %8.2f %8.2f %8.2f %6s %-6s\n",
+			r.TraceID, r.Route, r.Status, r.TotalMS,
+			r.Breakdown["queue_ms"], r.Breakdown["coalesce_ms"], r.Breakdown["compute_ms"],
+			r.Cache, r.SampledBy)
+	}
 }
 
 func render(w io.Writer, addr string, st obs.RunStatus) {

@@ -59,6 +59,102 @@ func TestRunRendersSnapshot(t *testing.T) {
 	}
 }
 
+const sampleTraces = `{
+  "stats": {"offered": 10, "kept": 2, "capacity": 2048, "stored": 2},
+  "traces": [
+    {"trace_id": "4bf92f3577b34da6a3ce929d0e0e4736", "span_id": "00f067aa0ba902b7",
+     "route": "estimate", "status": 200, "total_ms": 88.5, "cache": "miss",
+     "sampled_by": "slow",
+     "breakdown": {"queue_ms": 3.1, "compute_ms": 80.2, "total_ms": 88.5}},
+    {"trace_id": "aaaa2f3577b34da6a3ce929d0e0e4736", "span_id": "11f067aa0ba902b7",
+     "route": "plan", "status": 429, "total_ms": 0.4, "sampled_by": "error",
+     "breakdown": {"total_ms": 0.4}}
+  ]
+}`
+
+// -traces renders the slowest sampled requests beneath the dashboard.
+func TestRunRendersSlowestTraces(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		switch r.URL.Path {
+		case "/debug/csrun":
+			_, _ = w.Write([]byte(sampleStatus))
+		case "/debug/traces":
+			if r.URL.Query().Get("order") != "slowest" || r.URL.Query().Get("limit") != "2" {
+				t.Errorf("traces query = %q", r.URL.RawQuery)
+			}
+			_, _ = w.Write([]byte(sampleTraces))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(srv.Close)
+	var stdout, stderr bytes.Buffer
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	if got := run([]string{"-addr", addr, "-count", "1", "-plain", "-traces", "2"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("run = %d\nstderr: %s", got, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"slowest traces", "4bf92f3577b34da6a3ce929d0e0e4736", "estimate",
+		"88.50", "80.20", "429", "error", "slow", "miss",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// A status server without a trace store must not kill the monitor.
+func TestRunTracesUnavailable(t *testing.T) {
+	srv := statusServer(t, sampleStatus)
+	var stdout, stderr bytes.Buffer
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	if got := run([]string{"-addr", addr, "-count", "1", "-plain", "-traces", "3"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("run = %d\nstderr: %s", got, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "traces: unavailable") {
+		t.Errorf("missing unavailable notice:\n%s", stdout.String())
+	}
+}
+
+// csserve exposes /debug/traces but no /debug/csrun: with -traces the
+// monitor must degrade to a traces-only view rather than exit 1 —
+// unless the trace endpoint is missing too.
+func TestRunTracesOnlyServer(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/traces" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(sampleTraces))
+	}))
+	t.Cleanup(srv.Close)
+	var stdout, stderr bytes.Buffer
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	if got := run([]string{"-addr", addr, "-count", "1", "-plain", "-traces", "2"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("run = %d\nstderr: %s", got, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "status: unavailable") {
+		t.Errorf("missing status-unavailable notice:\n%s", out)
+	}
+	if !strings.Contains(out, "slowest traces") || !strings.Contains(out, "4bf92f3577b34da6a3ce929d0e0e4736") {
+		t.Errorf("traces-only view missing the trace table:\n%s", out)
+	}
+
+	// Both endpoints missing is a dead server: exit 1.
+	deadSrv := httptest.NewServer(http.NotFoundHandler())
+	t.Cleanup(deadSrv.Close)
+	stdout.Reset()
+	stderr.Reset()
+	deadAddr := strings.TrimPrefix(deadSrv.URL, "http://")
+	if got := run([]string{"-addr", deadAddr, "-count", "1", "-plain", "-traces", "2"}, &stdout, &stderr); got != 1 {
+		t.Fatalf("run against 404-everything = %d, want 1", got)
+	}
+}
+
 func TestRunStopsWhenDone(t *testing.T) {
 	srv := statusServer(t, `{"phase": "done", "elapsed_sec": 1}`)
 	var stdout, stderr bytes.Buffer

@@ -12,9 +12,14 @@
 //	csserve -timeout 5s -max-timeout 30s -max-episodes 1000000
 //	csserve -flight 4096                 # ring of recent requests,
 //	                                     # dumped to stderr on SIGQUIT
+//	csserve -trace-store 4096 -trace-sample 0.5 -trace-slowest 16
 //
 // Endpoints: POST /v1/plan, POST /v1/estimate, GET /v1/healthz, plus
-// /metrics, /debug/vars and /debug/pprof from the shared obs mux.
+// /metrics, /debug/vars and /debug/pprof from the shared obs mux, and
+// GET /debug/traces — the tail-sampled request trace store (always
+// keeps errors and the slowest -trace-slowest per -trace-window;
+// keeps the rest with probability -trace-sample). Requests carry W3C
+// traceparent in, X-Trace-Id and Server-Timing out.
 //
 // SIGTERM or SIGINT drains gracefully: the listener stops accepting,
 // in-flight requests get -grace to finish, then the worker pool is
@@ -40,6 +45,11 @@ import (
 	"repro/internal/obs"
 	"repro/internal/serve"
 )
+
+// version is the build stamp reported by /v1/healthz; override with
+//
+//	go build -ldflags "-X main.version=v1.2.3" ./cmd/csserve
+var version = "dev"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -67,6 +77,11 @@ func runApp(argv []string, stdout, stderr io.Writer, ready chan<- string, stop <
 		maxEpisodes = fs.Int("max-episodes", 2_000_000, "ceiling on episodes per /v1/estimate request")
 		flight      = fs.Int("flight", 0, "keep the last N requests in a flight ring, dumped on SIGQUIT (0 disables)")
 		grace       = fs.Duration("grace", 15*time.Second, "shutdown grace period for in-flight requests")
+
+		traceStore   = fs.Int("trace-store", 2048, "request trace store capacity in records (negative disables tracing)")
+		traceSample  = fs.Float64("trace-sample", 0.1, "probability of keeping an unremarkable request's trace (errors and the slowest are always kept; negative keeps none)")
+		traceSlowest = fs.Int("trace-slowest", 8, "always keep the slowest N requests per -trace-window")
+		traceWindow  = fs.Duration("trace-window", 10*time.Second, "comparison window for -trace-slowest")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -81,6 +96,15 @@ func runApp(argv []string, stdout, stderr io.Writer, ready chan<- string, stop <
 	if *flight > 0 {
 		fr = obs.NewFlightRecorder(*flight)
 	}
+	var tracer *obs.Tracer
+	if *traceStore >= 0 {
+		tracer = obs.NewTracer(obs.TracerConfig{
+			Capacity:   *traceStore,
+			SampleRate: *traceSample,
+			SlowestK:   *traceSlowest,
+			Window:     *traceWindow,
+		})
+	}
 	s := serve.New(serve.Config{
 		Workers:              *workers,
 		Queue:                *queue,
@@ -92,10 +116,15 @@ func runApp(argv []string, stdout, stderr io.Writer, ready chan<- string, stop <
 		MaxEpisodes:          *maxEpisodes,
 		Registry:             reg,
 		Flight:               fr,
+		Tracer:               tracer,
+		Version:              version,
 	})
 
 	mux := obs.NewMux(reg)
 	s.Routes(mux)
+	if tracer != nil {
+		mux.Handle("GET /debug/traces", tracer)
+	}
 	srv := &http.Server{Handler: mux}
 
 	lis, err := net.Listen("tcp", *addr)

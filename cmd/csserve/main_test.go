@@ -97,6 +97,108 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 }
 
+// With -trace-sample 1 every request lands in the trace store. A
+// request carrying a W3C traceparent must come back stitched under the
+// caller's trace ID with the attribution invariant intact, and healthz
+// must report build and runtime diagnostics.
+func TestServeTracing(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	code := make(chan int, 1)
+	go func() {
+		code <- runApp([]string{"-addr", "127.0.0.1:0", "-workers", "2", "-trace-sample", "1"},
+			&stdout, &stderr, ready, stop)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("server never became ready; stderr: %s", stderr.String())
+	}
+	base := "http://" + addr
+	defer func() {
+		close(stop)
+		select {
+		case <-code:
+		case <-time.After(10 * time.Second):
+			t.Fatal("server did not drain after stop")
+		}
+	}()
+
+	const parent = "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01"
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/estimate",
+		strings.NewReader(`{"life":"uniform","lifespan":300,"policy":"fixed:10","episodes":50000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", parent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("estimate status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != "0123456789abcdef0123456789abcdef" {
+		t.Errorf("X-Trace-Id = %q, want the caller's trace ID", got)
+	}
+	if st := resp.Header.Get("Server-Timing"); !strings.Contains(st, "total;dur=") {
+		t.Errorf("Server-Timing = %q, want a total entry", st)
+	}
+
+	resp, err = http.Get(base + "/debug/traces?trace=0123456789abcdef0123456789abcdef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Traces []struct {
+			TraceID   string             `json:"trace_id"`
+			ParentID  string             `json:"parent_id"`
+			Remote    bool               `json:"remote"`
+			Status    int                `json:"status"`
+			Breakdown map[string]float64 `json:"breakdown"`
+		} `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(body.Traces) != 1 {
+		t.Fatalf("traces for the caller's ID = %d, want 1", len(body.Traces))
+	}
+	rec := body.Traces[0]
+	if !rec.Remote || rec.ParentID != "00f067aa0ba902b7" {
+		t.Errorf("stitch wrong: remote=%v parent=%q", rec.Remote, rec.ParentID)
+	}
+	b := rec.Breakdown
+	if !(b["compute_ms"] > 0) {
+		t.Errorf("compute_ms = %g, want > 0", b["compute_ms"])
+	}
+	if sum := b["queue_ms"] + b["coalesce_ms"] + b["compute_ms"]; sum > b["total_ms"] {
+		t.Errorf("attribution invariant violated: %g > total %g", sum, b["total_ms"])
+	}
+
+	resp, err = http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		Version   string `json:"version"`
+		GoVersion string `json:"go_version"`
+		NumCPU    int    `json:"num_cpu"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hz.Version != "dev" || !strings.HasPrefix(hz.GoVersion, "go") || hz.NumCPU < 1 {
+		t.Errorf("healthz diagnostics = %+v", hz)
+	}
+}
+
 func TestServeUsageErrors(t *testing.T) {
 	var out bytes.Buffer
 	if code := run([]string{"-no-such-flag"}, &out, &out); code != 2 {

@@ -2,6 +2,7 @@ package nowsim
 
 import (
 	"context"
+	"strconv"
 
 	"repro/internal/obs"
 	"repro/internal/rng"
@@ -26,6 +27,12 @@ const cancelCheckStride = 128
 // simulations whose requester has gone away (client disconnect or
 // per-request deadline) without tearing down the worker that ran them.
 func MonteCarloCtx(ctx context.Context, policy Policy, owner Owner, c float64, n int, seed uint64, o Obs) (MonteCarloResult, error) {
+	// Request-trace attribution: when ctx carries an obs.ReqTrace, the
+	// whole run is one "mc" phase annotated with the episode count.
+	// Wall-clock reads live inside obs, keeping this package free of
+	// time sources (the determinism contract); on an untraced context
+	// endMC is a no-op closure and the per-episode loop is untouched.
+	endMC := obs.StartPhase(ctx, "mc")
 	src := rng.New(seed)
 	m := newSimMetrics(o.Metrics, c)
 	batch := obs.NewSpanner(o.Sink).Start(0, -1, "mc-batch", obs.SpanAttrs{Tasks: n})
@@ -51,6 +58,11 @@ func MonteCarloCtx(ctx context.Context, policy Policy, owner Owner, c float64, n
 		}
 	}
 	batch.End(float64(done))
+	if err != nil {
+		endMC("episodes", strconv.Itoa(done), "cancelled", "true")
+	} else {
+		endMC("episodes", strconv.Itoa(done))
+	}
 	return MonteCarloResult{
 		Work:      stats.Summarize(&work),
 		Lost:      stats.Summarize(&lost),

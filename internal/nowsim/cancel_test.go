@@ -38,6 +38,60 @@ func TestMonteCarloCtxMatchesMonteCarlo(t *testing.T) {
 	}
 }
 
+// A request-traced context must not change the simulation one bit, and
+// the run must appear in the trace as an "mc" phase annotated with the
+// episode count.
+func TestMonteCarloCtxRecordsTracePhase(t *testing.T) {
+	owner := cancelTestOwner(t)
+	pol := func() Policy { return &FixedChunkPolicy{Chunk: 15} }
+	want := MonteCarloObs(pol(), owner, 1, 5000, 42, Obs{})
+
+	rt := obs.NewReqTrace("estimate")
+	ctx := obs.ContextWithReqTrace(context.Background(), rt)
+	got, err := MonteCarloCtx(ctx, pol(), owner, 1, 5000, 42, Obs{})
+	if err != nil {
+		t.Fatalf("MonteCarloCtx: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("tracing changed the result:\n got %+v\nwant %+v", got, want)
+	}
+	rec := rt.Finalize(200)
+	if !(rec.Breakdown["mc_ms"] >= 0) {
+		t.Fatalf("trace missing mc phase: %+v", rec.Breakdown)
+	}
+	found := false
+	for _, p := range rec.Phases {
+		if p.Name == "mc" {
+			found = true
+			if p.Attrs["episodes"] != "5000" {
+				t.Errorf("mc phase episodes = %q, want 5000", p.Attrs["episodes"])
+			}
+			if p.Attrs["cancelled"] != "" {
+				t.Errorf("uncancelled run marked cancelled: %+v", p.Attrs)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no mc phase recorded: %+v", rec.Phases)
+	}
+
+	// A cancelled run annotates the partial count and the cancellation.
+	rt2 := obs.NewReqTrace("estimate")
+	cctx, cancel := context.WithCancel(obs.ContextWithReqTrace(context.Background(), rt2))
+	cancel()
+	if _, err := MonteCarloCtx(cctx, pol(), owner, 1, 5000, 42, Obs{}); err == nil {
+		t.Fatal("expected a context error")
+	}
+	rec2 := rt2.Finalize(504)
+	for _, p := range rec2.Phases {
+		if p.Name == "mc" {
+			if p.Attrs["cancelled"] != "true" || p.Attrs["episodes"] != "0" {
+				t.Errorf("cancelled mc phase attrs = %+v", p.Attrs)
+			}
+		}
+	}
+}
+
 // A context cancelled before the run starts stops it at the first
 // stride check, reporting the context error and zero episodes.
 func TestMonteCarloCtxCancelledBeforeStart(t *testing.T) {

@@ -41,6 +41,34 @@ func (r *ResponseRecorder) Write(p []byte) (int, error) {
 // body without WriteHeader, 0 when nothing was written at all).
 func (r *ResponseRecorder) Code() int { return r.code }
 
+// timingWriter stamps the trace response headers (Server-Timing with
+// the per-phase breakdown, X-Trace-Id) at the moment the handler
+// commits the response — the latest point headers can still be set,
+// and by then the serving path has recorded its phases.
+type timingWriter struct {
+	*ResponseRecorder
+	rt *ReqTrace
+}
+
+func (tw *timingWriter) stamp() {
+	if tw.Code() != 0 {
+		return // headers already committed
+	}
+	h := tw.Header()
+	h.Set("Server-Timing", tw.rt.ServerTiming())
+	h.Set(TraceIDHeader, tw.rt.TraceID())
+}
+
+func (tw *timingWriter) WriteHeader(code int) {
+	tw.stamp()
+	tw.ResponseRecorder.WriteHeader(code)
+}
+
+func (tw *timingWriter) Write(p []byte) (int, error) {
+	tw.stamp()
+	return tw.ResponseRecorder.Write(p)
+}
+
 // InstrumentHandler wraps next so every request updates two series on
 // reg:
 //
@@ -51,22 +79,39 @@ func (r *ResponseRecorder) Code() int { return r.code }
 // relative error), recorded in milliseconds. Routes are a closed,
 // caller-chosen vocabulary — never derived from the request path — so
 // the label space stays bounded.
-func InstrumentHandler(reg *Registry, route string, next http.Handler) http.Handler {
+//
+// It is also where a request's trace begins: an incoming W3C
+// traceparent header continues the caller's trace (csload -> csserve
+// stitch into one), anything else roots a fresh one. The ReqTrace
+// rides the request context so the serving path can attribute queue /
+// cache / coalesce / compute time; the response carries Server-Timing
+// and X-Trace-Id headers, the latency summary gets the trace ID as an
+// exemplar, and the finalized record is offered to tr's tail sampler
+// (tr may be nil — headers and context still work, nothing is stored).
+func InstrumentHandler(reg *Registry, route string, tr *Tracer, next http.Handler) http.Handler {
 	if reg == nil {
 		return next
 	}
 	lat := reg.Quantiles(Labeled("cs_http_request_ms", "route", route),
 		"HTTP request latency in milliseconds (log-bucketed quantile summary)")
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		rec := NewResponseRecorder(w)
+		var rt *ReqTrace
+		if parent, err := ParseTraceparent(req.Header.Get(TraceparentHeader)); err == nil {
+			rt = ContinueReqTrace(parent, route)
+		} else {
+			rt = NewReqTrace(route)
+		}
+		req = req.WithContext(ContextWithReqTrace(req.Context(), rt))
+		tw := &timingWriter{ResponseRecorder: NewResponseRecorder(w), rt: rt}
 		start := time.Now()
-		next.ServeHTTP(rec, req)
-		lat.Observe(float64(time.Since(start)) / float64(time.Millisecond))
-		code := rec.Code()
+		next.ServeHTTP(tw, req)
+		code := tw.Code()
 		if code == 0 {
 			code = http.StatusOK
 		}
+		lat.ObserveExemplar(float64(time.Since(start))/float64(time.Millisecond), rt.TraceID())
 		reg.Counter(Labeled("cs_http_requests_total", "route", route, "code", strconv.Itoa(code)),
 			"HTTP requests by route and status code").Inc()
+		tr.Offer(rt.Finalize(code))
 	})
 }

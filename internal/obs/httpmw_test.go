@@ -1,15 +1,17 @@
 package obs
 
 import (
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 )
 
 func TestInstrumentHandlerRecordsStatusAndLatency(t *testing.T) {
 	reg := NewRegistry()
-	h := InstrumentHandler(reg, "plan", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	h := InstrumentHandler(reg, "plan", nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Query().Get("fail") != "" {
 			http.Error(w, "nope", http.StatusTooManyRequests)
 			return
@@ -22,6 +24,12 @@ func TestInstrumentHandlerRecordsStatusAndLatency(t *testing.T) {
 		h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/plan", nil))
 		if rec.Code != 200 {
 			t.Fatalf("status = %d, want 200", rec.Code)
+		}
+		if rec.Header().Get(TraceIDHeader) == "" {
+			t.Fatalf("response missing %s header", TraceIDHeader)
+		}
+		if !strings.Contains(rec.Header().Get("Server-Timing"), "total;dur=") {
+			t.Fatalf("Server-Timing = %q, want total;dur=", rec.Header().Get("Server-Timing"))
 		}
 	}
 	rec := httptest.NewRecorder()
@@ -51,7 +59,7 @@ func TestInstrumentHandlerRecordsStatusAndLatency(t *testing.T) {
 
 func TestInstrumentHandlerNilRegistryPassesThrough(t *testing.T) {
 	called := false
-	h := InstrumentHandler(nil, "x", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	h := InstrumentHandler(nil, "x", nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		called = true
 		w.WriteHeader(http.StatusNoContent)
 	}))
@@ -59,5 +67,108 @@ func TestInstrumentHandlerNilRegistryPassesThrough(t *testing.T) {
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
 	if !called || rec.Code != http.StatusNoContent {
 		t.Fatalf("pass-through failed: called=%v code=%d", called, rec.Code)
+	}
+}
+
+// Satellite requirement: InstrumentHandler under concurrent
+// mixed-status load must keep exact per-code counters and histogram
+// counts (run under -race in CI).
+func TestInstrumentHandlerConcurrentMixedStatus(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(TracerConfig{Capacity: 4096, SampleRate: -1})
+	codes := []int{200, 404, 429, 500}
+	h := InstrumentHandler(reg, "mix", tr, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var code int
+		if _, err := fmt.Sscanf(r.URL.Query().Get("code"), "%d", &code); err != nil {
+			t.Errorf("bad code param: %v", err)
+			code = 500
+		}
+		end := StartPhase(r.Context(), PhaseCompute)
+		end()
+		if code == 200 {
+			_, _ = w.Write([]byte("ok"))
+			return
+		}
+		http.Error(w, "no", code)
+	}))
+
+	const perCode = 25
+	var wg sync.WaitGroup
+	for _, code := range codes {
+		for i := 0; i < perCode; i++ {
+			wg.Add(1)
+			go func(code int) {
+				defer wg.Done()
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("GET", fmt.Sprintf("/v1/mix?code=%d", code), nil))
+				if rec.Code != code {
+					t.Errorf("status = %d, want %d", rec.Code, code)
+				}
+			}(code)
+		}
+	}
+	wg.Wait()
+
+	for _, code := range codes {
+		name := Labeled("cs_http_requests_total", "route", "mix", "code", fmt.Sprintf("%d", code))
+		if got := reg.Counter(name, "").Value(); got != perCode {
+			t.Errorf("%s = %d, want %d", name, got, perCode)
+		}
+	}
+	lat := reg.Quantiles(Labeled("cs_http_request_ms", "route", "mix"), "")
+	if got := lat.Count(); got != uint64(len(codes)*perCode) {
+		t.Errorf("histogram count = %d, want %d", got, len(codes)*perCode)
+	}
+	// With the rate coin disabled, the tail sampler must have kept
+	// exactly the error-status requests.
+	st := tr.Stats()
+	if st.Offered != uint64(len(codes)*perCode) {
+		t.Errorf("offered = %d, want %d", st.Offered, len(codes)*perCode)
+	}
+	if st.ByReason[SampledError] != 3*perCode {
+		t.Errorf("kept by error = %d, want %d", st.ByReason[SampledError], 3*perCode)
+	}
+	for _, rec := range tr.Query(TraceQuery{Status: 429, Limit: 1000}) {
+		if rec.SampledBy != SampledError {
+			t.Errorf("429 trace sampled by %q, want error", rec.SampledBy)
+		}
+		sum := rec.Breakdown["queue_ms"] + rec.Breakdown["coalesce_ms"] + rec.Breakdown["compute_ms"]
+		if sum > rec.TotalMS {
+			t.Errorf("invariant violated: %v > %v", sum, rec.TotalMS)
+		}
+	}
+}
+
+// An incoming W3C traceparent must continue the remote trace rather
+// than rooting a new one, and the trace ID must round-trip through the
+// response header and the store.
+func TestInstrumentHandlerStitchesRemoteParent(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(TracerConfig{SampleRate: 1})
+	h := InstrumentHandler(reg, "plan", tr, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("ok"))
+	}))
+	parent := NewTraceContext()
+	req := httptest.NewRequest("GET", "/v1/plan", nil)
+	req.Header.Set(TraceparentHeader, parent.Traceparent())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get(TraceIDHeader); got != parent.TraceIDString() {
+		t.Fatalf("%s = %q, want remote trace id %q", TraceIDHeader, got, parent.TraceIDString())
+	}
+	recs := tr.Query(TraceQuery{TraceID: parent.TraceIDString()})
+	if len(recs) != 1 {
+		t.Fatalf("stored traces = %d, want 1", len(recs))
+	}
+	if !recs[0].Remote || recs[0].ParentID != parent.SpanIDString() {
+		t.Fatalf("stored record not stitched: %+v", recs[0])
+	}
+	// A malformed traceparent roots a fresh trace instead.
+	req2 := httptest.NewRequest("GET", "/v1/plan", nil)
+	req2.Header.Set(TraceparentHeader, "00-bogus")
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, req2)
+	if got := rec2.Header().Get(TraceIDHeader); got == "" || got == parent.TraceIDString() {
+		t.Fatalf("malformed parent handled wrong: trace id %q", got)
 	}
 }

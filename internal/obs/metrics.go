@@ -343,8 +343,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 func writeQuantiles(sb *strings.Builder, base, labels string, q *QuantileHist) {
 	if q.Count() > 0 {
 		for _, p := range standardQuantiles {
-			fmt.Fprintf(sb, "%s{%squantile=%q} %s\n",
-				base, joinLabels(labels), trimFloat(p), formatFloat(q.Quantile(p)))
+			v := q.Quantile(p)
+			fmt.Fprintf(sb, "%s{%squantile=%q} %s",
+				base, joinLabels(labels), trimFloat(p), formatFloat(v))
+			// OpenMetrics-style exemplar: a concrete trace ID from
+			// the quantile's value range, when one was recorded.
+			if e := q.ExemplarNear(v); e != nil {
+				fmt.Fprintf(sb, " # {trace_id=%q} %s", e.TraceID, formatFloat(e.Value))
+			}
+			sb.WriteByte('\n')
 		}
 	}
 	fmt.Fprintf(sb, "%s_sum%s %s\n", base, braced(labels), formatFloat(q.Sum()))

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tc := NewTraceContext()
+	if !tc.Valid() {
+		t.Fatalf("NewTraceContext produced invalid context %+v", tc)
+	}
+	if !tc.Sampled {
+		t.Fatalf("fresh root context must be sampled")
+	}
+	hdr := tc.Traceparent()
+	if len(hdr) != 55 {
+		t.Fatalf("traceparent length = %d, want 55 (%q)", len(hdr), hdr)
+	}
+	back, err := ParseTraceparent(hdr)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", hdr, err)
+	}
+	if back != tc {
+		t.Fatalf("round trip mismatch: %+v != %+v", back, tc)
+	}
+}
+
+func TestParseTraceparentValid(t *testing.T) {
+	const hdr = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	tc, err := ParseTraceparent(hdr)
+	if err != nil {
+		t.Fatalf("ParseTraceparent: %v", err)
+	}
+	if tc.TraceIDString() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("trace id = %s", tc.TraceIDString())
+	}
+	if tc.SpanIDString() != "00f067aa0ba902b7" {
+		t.Errorf("span id = %s", tc.SpanIDString())
+	}
+	if !tc.Sampled {
+		t.Errorf("flags 01 must set Sampled")
+	}
+	// Unsampled flags.
+	tc2, err := ParseTraceparent(hdr[:53] + "00")
+	if err != nil {
+		t.Fatalf("ParseTraceparent flags=00: %v", err)
+	}
+	if tc2.Sampled {
+		t.Errorf("flags 00 must clear Sampled")
+	}
+	// A future version may carry trailing fields.
+	tc3, err := ParseTraceparent("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra")
+	if err != nil {
+		t.Fatalf("future-version trailing fields must parse: %v", err)
+	}
+	if !tc3.Sampled || tc3.TraceIDString() != tc.TraceIDString() {
+		t.Errorf("future-version parse mismatch: %+v", tc3)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := []struct{ name, hdr string }{
+		{"empty", ""},
+		{"short", "00-abc"},
+		{"version ff", "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"},
+		{"uppercase hex", "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01"},
+		{"zero trace id", "00-00000000000000000000000000000000-00f067aa0ba902b7-01"},
+		{"zero span id", "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01"},
+		{"bad separator", "00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"},
+		{"non-hex", "00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01"},
+		{"v00 trailing", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-x"},
+		{"trailing no dash", "cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x"},
+	}
+	for _, tt := range bad {
+		if _, err := ParseTraceparent(tt.hdr); err == nil {
+			t.Errorf("%s: ParseTraceparent(%q) accepted, want error", tt.name, tt.hdr)
+		}
+	}
+}
+
+func TestNewChildKeepsTrace(t *testing.T) {
+	root := NewTraceContext()
+	child := root.NewChild()
+	if child.TraceID != root.TraceID {
+		t.Errorf("child changed trace id")
+	}
+	if child.SpanID == root.SpanID {
+		t.Errorf("child reused parent span id")
+	}
+	if child.Sampled != root.Sampled {
+		t.Errorf("child changed sampled flag")
+	}
+}
+
+func TestNewTraceContextUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewTraceContext().TraceIDString()
+		if seen[id] {
+			t.Fatalf("duplicate trace id %s after %d draws", id, i)
+		}
+		if strings.ToLower(id) != id {
+			t.Fatalf("trace id %s not lowercase", id)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mkRec(id string, status int, totalMS float64) TraceRecord {
+	return TraceRecord{
+		TraceID:   id,
+		SpanID:    "span" + id,
+		Route:     "estimate",
+		Status:    status,
+		TotalMS:   totalMS,
+		Breakdown: map[string]float64{"compute_ms": totalMS / 2, "total_ms": totalMS},
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Offer(mkRec("a", 200, 1)) {
+		t.Errorf("nil Tracer kept a record")
+	}
+	if got := tr.Query(TraceQuery{}); got != nil {
+		t.Errorf("nil Query = %v", got)
+	}
+	if st := tr.Stats(); st.Offered != 0 {
+		t.Errorf("nil Stats = %+v", st)
+	}
+}
+
+func TestTracerKeepsErrorsAlways(t *testing.T) {
+	// Rate sampling off, slow budget tiny: errors must still all land.
+	tr := NewTracer(TracerConfig{SampleRate: -1, SlowestK: 1})
+	tr.Offer(mkRec("fast", 200, 1)) // takes the slow slot
+	for i := 0; i < 10; i++ {
+		if !tr.Offer(mkRec("e", 429, 0.1)) {
+			t.Fatalf("429 record %d dropped", i)
+		}
+	}
+	if !tr.Offer(mkRec("boom", 500, 0.1)) {
+		t.Fatalf("500 record dropped")
+	}
+	st := tr.Stats()
+	if st.ByReason[SampledError] != 11 {
+		t.Errorf("errors kept = %d, want 11", st.ByReason[SampledError])
+	}
+}
+
+func TestTracerSlowestKWindow(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: -1, SlowestK: 2, Window: time.Hour})
+	if !tr.Offer(mkRec("a", 200, 10)) || !tr.Offer(mkRec("b", 200, 20)) {
+		t.Fatalf("first K records must fill the slow budget")
+	}
+	if tr.Offer(mkRec("c", 200, 5)) {
+		t.Fatalf("record faster than the window's K slowest was kept")
+	}
+	if !tr.Offer(mkRec("d", 200, 30)) {
+		t.Fatalf("record slower than the window minimum was dropped")
+	}
+	// After d, the window's slowest two are {20, 30}; 15 < 20 drops.
+	if tr.Offer(mkRec("e", 200, 15)) {
+		t.Fatalf("15ms kept against window {20,30}")
+	}
+}
+
+func TestTracerRateSampling(t *testing.T) {
+	always := NewTracer(TracerConfig{SampleRate: 1, SlowestK: 1, Window: time.Hour})
+	always.Offer(mkRec("s", 200, 100))
+	kept := 0
+	for i := 0; i < 50; i++ {
+		if always.Offer(mkRec("r", 200, 1)) {
+			kept++
+		}
+	}
+	if kept != 50 {
+		t.Errorf("SampleRate=1 kept %d/50", kept)
+	}
+	never := NewTracer(TracerConfig{SampleRate: -1, SlowestK: 1, Window: time.Hour})
+	never.Offer(mkRec("s", 200, 100))
+	for i := 0; i < 50; i++ {
+		if never.Offer(mkRec("r", 200, 1)) {
+			t.Fatalf("SampleRate<0 kept a record")
+		}
+	}
+}
+
+func TestTracerRingBounded(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 4, SampleRate: 1})
+	for i := 0; i < 20; i++ {
+		tr.Offer(mkRec("x", 500, float64(i)))
+	}
+	st := tr.Stats()
+	if st.Stored != 4 || st.Capacity != 4 {
+		t.Fatalf("stored/capacity = %d/%d, want 4/4", st.Stored, st.Capacity)
+	}
+	recs := tr.Query(TraceQuery{Limit: 100})
+	if len(recs) != 4 {
+		t.Fatalf("query returned %d, want 4", len(recs))
+	}
+	// Most recent first: totals 19, 18, 17, 16.
+	if recs[0].TotalMS < recs[3].TotalMS {
+		t.Errorf("not most-recent-first: %v ... %v", recs[0].TotalMS, recs[3].TotalMS)
+	}
+}
+
+func TestTracerQueryFilters(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: 1, SlowestK: 1, Window: time.Hour})
+	tr.Offer(mkRec("a", 200, 50))
+	tr.Offer(mkRec("b", 429, 1))
+	slowWithQueue := mkRec("c", 200, 80)
+	slowWithQueue.Breakdown["queue_ms"] = 10
+	slowWithQueue.Route = "plan"
+	tr.Offer(slowWithQueue)
+
+	if got := tr.Query(TraceQuery{Status: 429}); len(got) != 1 || got[0].TraceID != "b" {
+		t.Errorf("status filter: %+v", got)
+	}
+	if got := tr.Query(TraceQuery{MinMS: 60}); len(got) != 1 || got[0].TraceID != "c" {
+		t.Errorf("min_ms filter: %+v", got)
+	}
+	if got := tr.Query(TraceQuery{Phase: "queue"}); len(got) != 1 || got[0].TraceID != "c" {
+		t.Errorf("phase filter: %+v", got)
+	}
+	if got := tr.Query(TraceQuery{Route: "plan"}); len(got) != 1 || got[0].TraceID != "c" {
+		t.Errorf("route filter: %+v", got)
+	}
+	slowest := tr.Query(TraceQuery{Slowest: true, Limit: 2})
+	if len(slowest) != 2 || slowest[0].TraceID != "c" || slowest[1].TraceID != "a" {
+		t.Errorf("slowest order: %+v", slowest)
+	}
+}
+
+func TestTracerHTTPEndpoint(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: 1})
+	tr.Offer(mkRec("aaa", 200, 42))
+	tr.Offer(mkRec("bbb", 429, 1))
+
+	rec := httptest.NewRecorder()
+	tr.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?status=429", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Stats  TracerStats   `json:"stats"`
+		Traces []TraceRecord `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if resp.Stats.Kept != 2 || len(resp.Traces) != 1 || resp.Traces[0].TraceID != "bbb" {
+		t.Fatalf("response = %+v", resp)
+	}
+
+	for _, bad := range []string{"?min_ms=x", "?status=x", "?limit=x"} {
+		rec := httptest.NewRecorder()
+		tr.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces"+bad, nil))
+		if rec.Code != 400 {
+			t.Errorf("%s: status = %d, want 400", bad, rec.Code)
+		}
+	}
+	rec2 := httptest.NewRecorder()
+	tr.ServeHTTP(rec2, httptest.NewRequest("POST", "/debug/traces", nil))
+	if rec2.Code != 405 {
+		t.Errorf("POST status = %d, want 405", rec2.Code)
+	}
+}
+
+func TestQuantileHistExemplars(t *testing.T) {
+	var h QuantileHist
+	if h.ExemplarNear(5) != nil {
+		t.Fatalf("empty hist returned an exemplar")
+	}
+	h.ObserveExemplar(4, "t-fast")
+	h.ObserveExemplar(1000, "t-slow")
+	h.ObserveExemplar(2, "") // no trace ID: observed, no exemplar
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	if e := h.ExemplarNear(5); e == nil || e.TraceID != "t-fast" {
+		t.Errorf("ExemplarNear(5) = %+v, want t-fast", e)
+	}
+	if e := h.ExemplarNear(900); e == nil || e.TraceID != "t-slow" {
+		t.Errorf("ExemplarNear(900) = %+v, want t-slow", e)
+	}
+	// A value far from any octave with an exemplar falls back to the
+	// nearest recorded one rather than nil.
+	if e := h.ExemplarNear(1e9); e == nil || e.TraceID != "t-slow" {
+		t.Errorf("ExemplarNear(1e9) = %+v, want t-slow", e)
+	}
+}
+
+func TestExemplarInExposition(t *testing.T) {
+	reg := NewRegistry()
+	q := reg.Quantiles(Labeled("cs_http_request_ms", "route", "plan"), "latency")
+	q.ObserveExemplar(7.5, "deadbeefdeadbeefdeadbeefdeadbeef")
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `# {trace_id="deadbeefdeadbeefdeadbeefdeadbeef"}`) {
+		t.Errorf("exposition missing exemplar:\n%s", out)
+	}
+}

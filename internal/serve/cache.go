@@ -146,3 +146,28 @@ func (c *Cache) Len() int {
 	}
 	return n
 }
+
+// ShardLens returns the per-shard resident entry counts — the skew
+// diagnostic /v1/healthz exposes (a hot shard means hash imbalance or
+// a pathological key distribution). Nil for a disabled cache.
+func (c *Cache) ShardLens() []int {
+	if len(c.shards) == 0 {
+		return nil
+	}
+	lens := make([]int, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		lens[i] = s.ll.Len()
+		s.mu.Unlock()
+	}
+	return lens
+}
+
+// ShardCap returns the per-shard capacity (0 for a disabled cache).
+func (c *Cache) ShardCap() int {
+	if len(c.shards) == 0 {
+		return 0
+	}
+	return c.shards[0].cap
+}

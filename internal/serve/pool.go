@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -28,28 +29,30 @@ type Pool struct {
 	tasks  chan *poolTask
 	wg     sync.WaitGroup
 
-	depth   *obs.Gauge   // queued + running tasks; nil-safe
-	skipped *obs.Counter // tasks whose ctx ended before a worker ran them
+	depth   *obs.Gauge        // queued + running tasks; nil-safe
+	skipped *obs.Counter      // tasks whose ctx ended before a worker ran them
+	wait    *obs.QuantileHist // queue wait (submission -> worker pickup) in ms; nil-safe
 }
 
 type poolTask struct {
 	ctx  context.Context
 	fn   func(context.Context)
-	ran  bool // set by the worker before done closes; read by Do only after <-done
+	enq  time.Time // submission time, for queue-wait attribution
+	ran  bool      // set by the worker before done closes; read by Do only after <-done
 	done chan struct{}
 }
 
 // NewPool starts workers goroutines servicing a queue of the given
 // capacity. workers <= 0 defaults to 1; queue < 0 defaults to 0 (only
-// hand-off, no buffering). depth and skipped may be nil.
-func NewPool(workers, queue int, depth *obs.Gauge, skipped *obs.Counter) *Pool {
+// hand-off, no buffering). depth, skipped and wait may be nil.
+func NewPool(workers, queue int, depth *obs.Gauge, skipped *obs.Counter, wait *obs.QuantileHist) *Pool {
 	if workers <= 0 {
 		workers = 1
 	}
 	if queue < 0 {
 		queue = 0
 	}
-	p := &Pool{tasks: make(chan *poolTask, queue), depth: depth, skipped: skipped}
+	p := &Pool{tasks: make(chan *poolTask, queue), depth: depth, skipped: skipped, wait: wait}
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
 		go p.worker()
@@ -61,6 +64,13 @@ func (p *Pool) worker() {
 	defer p.wg.Done()
 	for t := range p.tasks {
 		if t.ctx.Err() == nil {
+			// Attribute the time the task spent queued — both to the
+			// pool-wide histogram and to the owning request's trace.
+			waited := time.Since(t.enq)
+			if p.wait != nil {
+				p.wait.Observe(float64(waited) / float64(time.Millisecond))
+			}
+			obs.ReqTraceFrom(t.ctx).AddPhase(obs.PhaseQueue, t.enq, waited)
 			t.fn(t.ctx)
 			t.ran = true
 		} else if p.skipped != nil {
@@ -84,7 +94,7 @@ func (p *Pool) worker() {
 // skips it, keeping the pool usable after any number of abandoned
 // requests.
 func (p *Pool) Do(ctx context.Context, fn func(context.Context)) error {
-	t := &poolTask{ctx: ctx, fn: fn, done: make(chan struct{})}
+	t := &poolTask{ctx: ctx, fn: fn, enq: time.Now(), done: make(chan struct{})}
 	p.mu.RLock()
 	if p.closed {
 		p.mu.RUnlock()

@@ -12,7 +12,7 @@ import (
 )
 
 func TestPoolRunsSubmittedWork(t *testing.T) {
-	p := NewPool(2, 4, nil, nil)
+	p := NewPool(2, 4, nil, nil, nil)
 	defer p.Close()
 	var ran atomic.Int64
 	var wg sync.WaitGroup
@@ -40,7 +40,7 @@ func TestPoolRunsSubmittedWork(t *testing.T) {
 
 // A full queue must reject immediately with ErrQueueFull, not block.
 func TestPoolBackpressure(t *testing.T) {
-	p := NewPool(1, 1, nil, nil)
+	p := NewPool(1, 1, nil, nil, nil)
 	defer p.Close()
 	block := make(chan struct{})
 	occupied := make(chan struct{})
@@ -78,7 +78,7 @@ func TestPoolBackpressure(t *testing.T) {
 func TestPoolDeadlineLeavesPoolUsable(t *testing.T) {
 	reg := obs.NewRegistry()
 	skipped := reg.Counter("skipped", "")
-	p := NewPool(1, 4, reg.Gauge("depth", ""), skipped)
+	p := NewPool(1, 4, reg.Gauge("depth", ""), skipped, nil)
 	defer p.Close()
 
 	block := make(chan struct{})
@@ -129,7 +129,7 @@ func TestPoolDeadlineLeavesPoolUsable(t *testing.T) {
 // returned nil here roughly half the time, which let handlers cache
 // zero-valued responses.)
 func TestPoolSkippedTaskNeverReportsSuccess(t *testing.T) {
-	p := NewPool(1, 256, nil, nil)
+	p := NewPool(1, 256, nil, nil, nil)
 	defer p.Close()
 	for i := 0; i < 200; i++ {
 		ctx, cancel := context.WithCancel(context.Background())
@@ -152,7 +152,7 @@ func TestPoolDoReturnsOnDeadlineWhileRunning(t *testing.T) {
 	// Queue capacity 1: a zero-capacity queue only accepts a task while
 	// a worker is already parked in receive, which races with pool
 	// startup.
-	p := NewPool(1, 1, nil, nil)
+	p := NewPool(1, 1, nil, nil, nil)
 	defer p.Close()
 	ctx, cancel := context.WithCancel(context.Background())
 	started := make(chan struct{})
@@ -181,7 +181,7 @@ func TestPoolDoReturnsOnDeadlineWhileRunning(t *testing.T) {
 // Close must drain queued work before returning, and reject later
 // submissions with ErrPoolClosed.
 func TestPoolCloseDrains(t *testing.T) {
-	p := NewPool(1, 8, nil, nil)
+	p := NewPool(1, 8, nil, nil, nil)
 	var ran atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < 6; i++ {

@@ -41,6 +41,13 @@ type Config struct {
 	MaxEpisodes int
 	// Registry receives all metrics; a private one is created when nil.
 	Registry *obs.Registry
+	// Tracer, when non-nil, receives every request's finalized trace
+	// for tail sampling; serve /debug/traces from it to inspect the
+	// kept ones. Nil disables the store (requests still carry trace
+	// headers and per-phase attribution).
+	Tracer *obs.Tracer
+	// Version is reported by /v1/healthz (build stamp; "dev" when empty).
+	Version string
 	// Flight, when non-nil, receives one obs.Event per served request
 	// (Kind "http:<route>", Period = status code, Length = latency in
 	// milliseconds) — the post-mortem tail for crashed or misbehaving
@@ -75,6 +82,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
+	}
+	if c.Version == "" {
+		c.Version = "dev"
 	}
 	return c
 }
@@ -128,7 +138,8 @@ func New(cfg Config) *Server {
 	}
 	s.pool = NewPool(cfg.Workers, cfg.Queue,
 		reg.Gauge("cs_serve_queue_depth", "requests queued or running in the worker pool"),
-		reg.Counter("cs_serve_pool_skipped_total", "queued tasks skipped because their request had already been abandoned"))
+		reg.Counter("cs_serve_pool_skipped_total", "queued tasks skipped because their request had already been abandoned"),
+		reg.Quantiles("cs_serve_queue_wait_ms", "worker-pool queue wait in milliseconds (submission to pickup)"))
 	return s
 }
 
@@ -161,7 +172,7 @@ func (s *Server) instrument(route string, h http.Handler) http.Handler {
 			})
 		})
 	}
-	return obs.InstrumentHandler(s.reg, route, inner)
+	return obs.InstrumentHandler(s.reg, route, s.cfg.Tracer, inner)
 }
 
 // Drain flips the server into draining mode (healthz answers 503 so
@@ -315,20 +326,27 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := spec.key()
+	rt := obs.ReqTraceFrom(r.Context())
+	endCache := rt.StartPhase(obs.PhaseCache)
 	if v, ok := s.planCache.Get(key); ok {
+		endCache("outcome", "hit")
 		resp := v.(PlanResponse)
 		resp.Cached = true
 		resp.ElapsedMS = msSince(reqStart)
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
+	endCache("outcome", "miss")
 	ctx, cancel := s.requestCtx(r, spec.TimeoutMS)
 	defer cancel()
-	v, shared, err := s.flights.Do(ctx, key, func(runCtx context.Context) (any, error) {
+	flightStart := time.Now()
+	v, shared, leader, err := s.flights.Do(ctx, key, func(runCtx context.Context) (any, error) {
 		var resp PlanResponse
 		var compErr error
-		if poolErr := s.pool.Do(runCtx, func(context.Context) {
+		if poolErr := s.pool.Do(runCtx, func(taskCtx context.Context) {
+			endCompute := obs.StartPhase(taskCtx, obs.PhaseCompute)
 			resp, compErr = s.computePlan(spec, key)
+			endCompute()
 		}); poolErr != nil {
 			return nil, poolErr
 		}
@@ -338,6 +356,11 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		s.planCache.Put(key, resp)
 		return resp, nil
 	})
+	if !leader {
+		// A follower's entire flight wait is coalesce time: it rode on
+		// the leader's queue + compute.
+		rt.AddPhase(obs.PhaseCoalesce, flightStart, time.Since(flightStart))
+	}
 	if shared {
 		s.coalesced.Inc()
 	}
@@ -389,20 +412,27 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := spec.key()
+	rt := obs.ReqTraceFrom(r.Context())
+	endCache := rt.StartPhase(obs.PhaseCache)
 	if v, ok := s.estCache.Get(key); ok {
+		endCache("outcome", "hit")
 		resp := v.(EstimateResponse)
 		resp.Cached = true
 		resp.ElapsedMS = msSince(reqStart)
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
+	endCache("outcome", "miss")
 	ctx, cancel := s.requestCtx(r, spec.TimeoutMS)
 	defer cancel()
-	v, shared, err := s.flights.Do(ctx, key, func(runCtx context.Context) (any, error) {
+	flightStart := time.Now()
+	v, shared, leader, err := s.flights.Do(ctx, key, func(runCtx context.Context) (any, error) {
 		var resp EstimateResponse
 		var compErr error
 		if poolErr := s.pool.Do(runCtx, func(taskCtx context.Context) {
+			endCompute := obs.StartPhase(taskCtx, obs.PhaseCompute)
 			resp, compErr = s.computeEstimate(taskCtx, spec, key)
+			endCompute()
 		}); poolErr != nil {
 			return nil, poolErr
 		}
@@ -412,6 +442,9 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		s.estCache.Put(key, resp)
 		return resp, nil
 	})
+	if !leader {
+		rt.AddPhase(obs.PhaseCoalesce, flightStart, time.Since(flightStart))
+	}
 	if shared {
 		s.coalesced.Inc()
 	}
@@ -462,26 +495,62 @@ func (s *Server) computeEstimate(ctx context.Context, spec EstimateSpec, key str
 	return resp, nil
 }
 
-// Healthz is the body of GET /v1/healthz.
+// CacheHealth describes one LRU cache in the healthz payload: total
+// residency plus the per-shard breakdown, so shard skew is visible
+// from a single curl.
+type CacheHealth struct {
+	Entries  int   `json:"entries"`
+	ShardCap int   `json:"shard_cap"`
+	PerShard []int `json:"per_shard,omitempty"`
+	MaxShard int   `json:"max_shard"`
+}
+
+func cacheHealth(c *Cache) CacheHealth {
+	lens := c.ShardLens()
+	h := CacheHealth{ShardCap: c.ShardCap(), PerShard: lens}
+	for _, n := range lens {
+		h.Entries += n
+		if n > h.MaxShard {
+			h.MaxShard = n
+		}
+	}
+	return h
+}
+
+// Healthz is the body of GET /v1/healthz — everything a smoke-test
+// failure needs for a first diagnosis in one response: build identity,
+// runtime shape, pool state, and per-shard cache occupancy.
 type Healthz struct {
-	Status           string  `json:"status"`
-	UptimeSeconds    float64 `json:"uptime_seconds"`
-	Workers          int     `json:"workers"`
-	QueueDepth       int     `json:"queue_depth"`
-	QueueCapacity    int     `json:"queue_capacity"`
-	PlanCacheEntries int     `json:"plan_cache_entries"`
-	EstCacheEntries  int     `json:"estimate_cache_entries"`
+	Status           string      `json:"status"`
+	Version          string      `json:"version"`
+	UptimeSeconds    float64     `json:"uptime_seconds"`
+	GoVersion        string      `json:"go_version"`
+	NumCPU           int         `json:"num_cpu"`
+	NumGoroutine     int         `json:"num_goroutine"`
+	Workers          int         `json:"workers"`
+	QueueDepth       int         `json:"queue_depth"`
+	QueueCapacity    int         `json:"queue_capacity"`
+	PlanCacheEntries int         `json:"plan_cache_entries"`
+	EstCacheEntries  int         `json:"estimate_cache_entries"`
+	PlanCache        CacheHealth `json:"plan_cache"`
+	EstCache         CacheHealth `json:"estimate_cache"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h := Healthz{
 		Status:           "ok",
+		Version:          s.cfg.Version,
 		UptimeSeconds:    time.Since(s.start).Seconds(),
+		GoVersion:        runtime.Version(),
+		NumCPU:           runtime.NumCPU(),
+		NumGoroutine:     runtime.NumGoroutine(),
 		Workers:          s.cfg.Workers,
 		QueueDepth:       s.pool.QueueDepth(),
 		QueueCapacity:    s.pool.QueueCap(),
 		PlanCacheEntries: s.planCache.Len(),
 		EstCacheEntries:  s.estCache.Len(),
+		PlanCache:        cacheHealth(s.planCache),
+		EstCache:         cacheHealth(s.estCache),
 	}
 	status := http.StatusOK
 	if s.draining.Load() {

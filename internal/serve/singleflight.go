@@ -3,6 +3,8 @@ package serve
 import (
 	"context"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // flightGroup coalesces concurrent calls that share a key: the first
@@ -31,19 +33,28 @@ func newFlightGroup() *flightGroup {
 }
 
 // Do returns fn's result for key, running fn at most once per key at a
-// time. The bool reports whether the result (or error) was shared with
-// other callers. When ctx ends before the computation finishes, Do
-// returns ctx's error; if that caller was the last waiter the
-// computation's context is cancelled too.
-func (g *flightGroup) Do(ctx context.Context, key string, fn func(context.Context) (any, error)) (any, bool, error) {
+// time. shared reports whether the result (or error) was shared with
+// other callers; leader reports whether this caller started the
+// computation (followers joined an existing one — their wait is
+// coalesce time, not compute time). When ctx ends before the
+// computation finishes, Do returns ctx's error; if that caller was the
+// last waiter the computation's context is cancelled too.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func(context.Context) (any, error)) (v any, shared, leader bool, err error) {
 	g.mu.Lock()
 	if c, ok := g.m[key]; ok {
 		c.waiters++
 		c.shared = true
 		g.mu.Unlock()
-		return g.wait(ctx, c)
+		v, shared, err = g.wait(ctx, c)
+		return v, shared, false, err
 	}
 	runCtx, cancel := context.WithCancel(context.Background())
+	// The computation outlives ctx by design, but it still attributes
+	// its queue/compute time to the trace of the request that started
+	// it. If the leader's request finishes first, the trace is already
+	// finalized and late phases are dropped — the attribution
+	// invariant (phases <= total) survives leader abandonment.
+	runCtx = obs.ContextWithReqTrace(runCtx, obs.ReqTraceFrom(ctx))
 	c := &flightCall{done: make(chan struct{}), waiters: 1, cancel: cancel}
 	g.m[key] = c
 	g.mu.Unlock()
@@ -57,7 +68,8 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func(context.Contex
 		cancel()
 	}()
 	//lint:allow goroutinecap c.val/c.err are published before close(c.done) and read only after it; waiters/shared are guarded by g.mu
-	return g.wait(ctx, c)
+	v, shared, err = g.wait(ctx, c)
+	return v, shared, true, err
 }
 
 // wait blocks until the call completes or ctx ends. Leaving as the

@@ -25,7 +25,7 @@ func TestFlightGroupCoalescesSameKey(t *testing.T) {
 		//lint:allow goroutinecap flightGroup synchronizes internally with its own mutex; concurrent Do is the API under test
 		go func(i int) {
 			defer wg.Done()
-			v, shared, err := g.Do(context.Background(), "k", func(context.Context) (any, error) {
+			v, shared, _, err := g.Do(context.Background(), "k", func(context.Context) (any, error) {
 				calls.Add(1)
 				<-release // hold the call open so every goroutine joins it
 				return 42, nil
@@ -63,14 +63,14 @@ func TestFlightGroupDistinctKeysRunIndependently(t *testing.T) {
 	block := make(chan struct{})
 	done := make(chan struct{})
 	go func() {
-		_, _, _ = g.Do(context.Background(), "slow", func(context.Context) (any, error) {
+		_, _, _, _ = g.Do(context.Background(), "slow", func(context.Context) (any, error) {
 			<-block
 			return nil, nil
 		})
 		close(done)
 	}()
 	//lint:allow goroutinecap flightGroup synchronizes internally with its own mutex; concurrent Do is the API under test
-	v, _, err := g.Do(context.Background(), "fast", func(context.Context) (any, error) { return 1, nil })
+	v, _, _, err := g.Do(context.Background(), "fast", func(context.Context) (any, error) { return 1, nil })
 	if err != nil || v.(int) != 1 {
 		t.Fatalf("fast key blocked: %v %v", v, err)
 	}
@@ -89,7 +89,7 @@ func TestFlightGroupCancelsOnlyWhenLastWaiterLeaves(t *testing.T) {
 
 	patient := make(chan error, 1)
 	go func() {
-		_, _, err := g.Do(context.Background(), "k", func(runCtx context.Context) (any, error) {
+		_, _, _, err := g.Do(context.Background(), "k", func(runCtx context.Context) (any, error) {
 			runCtxCh <- runCtx
 			close(started)
 			<-finish
@@ -105,7 +105,7 @@ func TestFlightGroupCancelsOnlyWhenLastWaiterLeaves(t *testing.T) {
 	impatientDone := make(chan error, 1)
 	//lint:allow goroutinecap flightGroup synchronizes internally with its own mutex; concurrent Do is the API under test
 	go func() {
-		_, _, err := g.Do(impatientCtx, "k", func(context.Context) (any, error) {
+		_, _, _, err := g.Do(impatientCtx, "k", func(context.Context) (any, error) {
 			t.Error("second Do must join, not re-run")
 			return nil, nil
 		})
@@ -133,7 +133,7 @@ func TestFlightGroupCancelsWhenAllWaitersLeave(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	errCh := make(chan error, 1)
 	go func() {
-		_, _, err := g.Do(ctx, "k", func(runCtx context.Context) (any, error) {
+		_, _, _, err := g.Do(ctx, "k", func(runCtx context.Context) (any, error) {
 			runCtxCh <- runCtx
 			<-runCtx.Done() // simulate a cancellable computation
 			return nil, runCtx.Err()
@@ -158,7 +158,7 @@ func TestFlightGroupForgetsCompletedCalls(t *testing.T) {
 	g := newFlightGroup()
 	var calls atomic.Int64
 	for i := 0; i < 3; i++ {
-		v, shared, err := g.Do(context.Background(), "k", func(context.Context) (any, error) {
+		v, shared, _, err := g.Do(context.Background(), "k", func(context.Context) (any, error) {
 			return calls.Add(1), nil
 		})
 		if err != nil || shared {

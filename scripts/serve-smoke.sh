@@ -2,9 +2,11 @@
 # End-to-end smoke test of the serving layer: boots csserve, drives it
 # with csload, and asserts the scaling behaviour the design promises —
 # cache speedup on identical requests, coalescing of concurrent
-# duplicates, 429 load-shedding on a saturated pool, and a live
-# /metrics surface. Artifacts (server log, metrics scrape, load
-# reports) land in $SMOKE_DIR for CI to upload on failure.
+# duplicates, 429 load-shedding on a saturated pool, a live /metrics
+# surface, and stitched request traces whose per-phase attribution
+# satisfies queue + coalesce + compute <= total. Artifacts (server log,
+# metrics scrape, load reports, trace store dump) land in $SMOKE_DIR
+# for CI to upload on failure.
 #
 # Requires: jq, curl.
 set -euo pipefail
@@ -23,8 +25,11 @@ cleanup() {
   status=$?
   if [ $status -ne 0 ]; then
     echo "serve-smoke: FAILED (artifacts in $SMOKE_DIR)" >&2
-    # Ask the server for a post-mortem flight dump before it dies.
+    # Ask the server for a post-mortem flight dump and grab the trace
+    # store before it dies.
     [ -n "$SERVER_PID" ] && kill -QUIT "$SERVER_PID" 2>/dev/null && sleep 0.5 || true
+    [ -n "$SERVER_PID" ] && curl -sf "http://127.0.0.1:$PORT/debug/traces?limit=200" \
+      >"$SMOKE_DIR/traces-failure.json" 2>/dev/null || true
   fi
   [ -n "$SERVER_PID" ] && kill -TERM "$SERVER_PID" 2>/dev/null || true
   [ -n "$BURST_PID" ] && kill -TERM "$BURST_PID" 2>/dev/null || true
@@ -48,8 +53,10 @@ wait_healthy() {
   return 1
 }
 
-# --- main server: cache, coalescing and metrics assertions ----------
-./bin/csserve -addr "127.0.0.1:$PORT" -flight 4096 \
+# --- main server: cache, coalescing, metrics, trace assertions ------
+# -trace-sample 1 keeps every request's trace so the gates below see a
+# fully populated store.
+./bin/csserve -addr "127.0.0.1:$PORT" -flight 4096 -trace-sample 1 \
   2>"$SMOKE_DIR/server.log" >"$SMOKE_DIR/server.out" &
 SERVER_PID=$!
 wait_healthy "$PORT"
@@ -63,6 +70,10 @@ jq -e '.waves[1].cached == 24' "$SMOKE_DIR/load-plan.json"
 # The acceptance criterion: the warm wave of identical specs is served
 # >= 10x faster (server-side elapsed, immune to HTTP jitter).
 jq -e '.speedup_server_elapsed >= 10' "$SMOKE_DIR/load-plan.json"
+# Client-side tail reporting: every wave names its slowest request's
+# trace ID, and max is at least p99.
+jq -e 'all(.waves[]; .max_ms >= .p99_ms and (.slowest_trace_id | length == 32))' \
+  "$SMOKE_DIR/load-plan.json"
 
 echo "serve-smoke: concurrent identical estimates coalesce"
 ./bin/csload -addr "http://127.0.0.1:$PORT" -endpoint estimate \
@@ -77,6 +88,29 @@ grep -q 'cs_http_request_ms{route="plan",quantile="0.99"}' "$SMOKE_DIR/metrics.t
 # Cache hit ratio must be nonzero after the warm wave.
 awk '$1 == "cs_serve_cache_hits_total{route=\"plan\"}" { hits = $2 }
      END { exit (hits > 0 ? 0 : 1) }' "$SMOKE_DIR/metrics.txt"
+# Latency quantiles carry exemplar trace IDs for drill-down.
+grep -q 'trace_id=' "$SMOKE_DIR/metrics.txt"
+
+echo "serve-smoke: trace store and latency attribution"
+curl -sf "http://127.0.0.1:$PORT/debug/traces?limit=200" >"$SMOKE_DIR/traces.json"
+jq -e '.traces | length >= 1' "$SMOKE_DIR/traces.json"
+# csload roots every request with a traceparent, so server spans must
+# be stitched under remote parents.
+jq -e '[.traces[] | select(.remote)] | length >= 1' "$SMOKE_DIR/traces.json"
+# The attribution invariant: accounted phase time never exceeds the
+# request's total.
+jq -e 'all(.traces[];
+  (.breakdown.queue_ms // 0) + (.breakdown.coalesce_ms // 0) + (.breakdown.compute_ms // 0)
+  <= .breakdown.total_ms)' "$SMOKE_DIR/traces.json"
+# Cold estimates did real work: some trace accounts compute time.
+jq -e '[.traces[] | select((.breakdown.compute_ms // 0) > 0)] | length >= 1' \
+  "$SMOKE_DIR/traces.json"
+
+echo "serve-smoke: healthz diagnostics"
+curl -sf "http://127.0.0.1:$PORT/v1/healthz" >"$SMOKE_DIR/healthz.json"
+jq -e '.version != "" and (.go_version | startswith("go")) and .num_cpu >= 1' \
+  "$SMOKE_DIR/healthz.json"
+jq -e '.plan_cache.per_shard | length >= 1' "$SMOKE_DIR/healthz.json"
 
 echo "serve-smoke: graceful drain"
 kill -TERM "$SERVER_PID"
