@@ -198,13 +198,17 @@ func runWave(client *http.Client, url string, wave int, bodies [][]byte, concurr
 	}
 	latencies := make([]float64, 0, len(results))
 	for _, r := range results {
+		// Transport failures (status 0) carry no latency or trace ID;
+		// they count only as errors, so a wave with no HTTP responses
+		// reports max_ms 0 and omits slowest_trace_id instead of
+		// fabricating them from zero-value results.
 		if r.status == 0 {
 			rep.Errors++
 			continue
 		}
 		rep.Status[strconv.Itoa(r.status)]++
 		latencies = append(latencies, r.latencyMS)
-		if r.latencyMS > rep.MaxMS || rep.SlowestTraceID == "" {
+		if len(latencies) == 1 || r.latencyMS > rep.MaxMS {
 			rep.MaxMS = r.latencyMS
 			rep.SlowestTraceID = r.traceID
 		}

@@ -30,18 +30,6 @@ type QuantileHist struct {
 	n      atomic.Uint64
 	sum    Gauge
 	max    atomic.Uint64 // float64 bits; valid only when n > 0
-
-	// One exemplar slot per octave (see ObserveExemplar): latest
-	// (value, trace ID) pair observed in that value range, so
-	// quantile lines can link to a concrete trace.
-	exemplars [hdrMaxExp - hdrMinExp + 1]atomic.Pointer[Exemplar]
-}
-
-// Exemplar ties an observed value to the trace that produced it, in
-// the OpenMetrics sense: a concrete request behind a quantile.
-type Exemplar struct {
-	Value   float64
-	TraceID string
 }
 
 const (
@@ -102,43 +90,6 @@ func (h *QuantileHist) Observe(v float64) {
 			return
 		}
 	}
-}
-
-// ObserveExemplar records v like Observe and, when traceID is
-// nonempty and v positive, publishes (v, traceID) as the exemplar for
-// v's octave. Octave granularity (rather than per-bucket) keeps the
-// slot array small while still giving every quantile line an exemplar
-// within 2x of the quantile's value range.
-func (h *QuantileHist) ObserveExemplar(v float64, traceID string) {
-	h.Observe(v)
-	if traceID == "" || math.IsNaN(v) || v <= 0 {
-		return
-	}
-	h.exemplars[hdrIndex(v)/hdrSubCount].Store(&Exemplar{Value: v, TraceID: traceID})
-}
-
-// ExemplarNear returns the exemplar recorded nearest to v — its own
-// octave first, then widening to neighbours — or nil when none exists
-// (no ObserveExemplar calls, or v non-positive).
-func (h *QuantileHist) ExemplarNear(v float64) *Exemplar {
-	if math.IsNaN(v) || v <= 0 {
-		return nil
-	}
-	oct := hdrIndex(v) / hdrSubCount
-	last := len(h.exemplars) - 1
-	for d := 0; d <= last; d++ {
-		if i := oct - d; i >= 0 {
-			if e := h.exemplars[i].Load(); e != nil {
-				return e
-			}
-		}
-		if i := oct + d; d > 0 && i <= last {
-			if e := h.exemplars[i].Load(); e != nil {
-				return e
-			}
-		}
-	}
-	return nil
 }
 
 // Count returns the number of observations.

@@ -6,14 +6,39 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 )
 
-// Handler serves the registry in Prometheus text exposition format.
+// Handler serves the registry in the Prometheus text exposition
+// format, negotiating the flavour on the Accept header: a scraper
+// asking for application/openmetrics-text gets the OpenMetrics
+// exposition (which is where histogram-bucket exemplars live);
+// everything else gets the classic exemplar-free 0.0.4 text format.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if acceptsOpenMetrics(req.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			_ = r.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
 	})
+}
+
+// acceptsOpenMetrics reports whether an Accept header asks for the
+// OpenMetrics exposition. Prometheus lists it as the preferred media
+// type with version and q parameters; matching the media type of each
+// alternative is enough, and anything unrecognised falls back to the
+// classic format.
+func acceptsOpenMetrics(accept string) bool {
+	for _, alt := range strings.Split(accept, ",") {
+		mediaType, _, _ := strings.Cut(alt, ";")
+		if strings.TrimSpace(mediaType) == "application/openmetrics-text" {
+			return true
+		}
+	}
+	return false
 }
 
 // PublishExpvar publishes the registry under the given expvar name, so

@@ -72,7 +72,8 @@ type Tracer struct {
 	kept        uint64
 	byReason    map[string]uint64
 	windowStart time.Time
-	slowest     []float64 // ascending; at most cfg.SlowestK totals seen this window
+	slowest     []float64 // ascending; the cfg.SlowestK largest totals seen this window
+	slowFloor   float64   // admission floor carried from the last full window
 }
 
 // NewTracer builds a Tracer, applying defaults for zero config fields.
@@ -133,14 +134,25 @@ func (t *Tracer) sampleReason(rec TraceRecord) string {
 	if rec.Status >= 400 || rec.Status == 0 {
 		return SampledError
 	}
-	// Slowest K per window: admit while the window's budget is not
-	// full, then only records slower than the fastest admitted one.
+	// Slowest K per window. The buffer tracks the K largest totals
+	// observed this window; while it is still warming up after a
+	// reset, a record is only *kept* as slow if it also beats the
+	// floor carried from the last full window — otherwise the first K
+	// arrivals of every window would be labeled slow regardless of
+	// latency. Records below the carried floor still fall through to
+	// rate sampling.
 	now := time.Now()
 	if now.Sub(t.windowStart) > t.cfg.Window {
 		t.windowStart = now
+		// Only a full buffer defines a meaningful floor; a sparse
+		// window keeps the previous one.
+		if len(t.slowest) >= t.cfg.SlowestK {
+			t.slowFloor = t.slowest[0]
+		}
 		t.slowest = t.slowest[:0]
 	}
-	if len(t.slowest) < t.cfg.SlowestK || rec.TotalMS > t.slowest[0] {
+	warm := len(t.slowest) >= t.cfg.SlowestK
+	if !warm || rec.TotalMS > t.slowest[0] {
 		i := sort.SearchFloat64s(t.slowest, rec.TotalMS)
 		t.slowest = append(t.slowest, 0)
 		copy(t.slowest[i+1:], t.slowest[i:])
@@ -148,7 +160,9 @@ func (t *Tracer) sampleReason(rec TraceRecord) string {
 		if len(t.slowest) > t.cfg.SlowestK {
 			t.slowest = t.slowest[1:]
 		}
-		return SampledSlow
+		if warm || rec.TotalMS >= t.slowFloor {
+			return SampledSlow
+		}
 	}
 	// Probabilistic remainder: a splitmix64 draw mapped to [0, 1).
 	coin := float64(nextID64()>>11) / (1 << 53)

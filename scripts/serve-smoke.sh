@@ -88,8 +88,19 @@ grep -q 'cs_http_request_ms{route="plan",quantile="0.99"}' "$SMOKE_DIR/metrics.t
 # Cache hit ratio must be nonzero after the warm wave.
 awk '$1 == "cs_serve_cache_hits_total{route=\"plan\"}" { hits = $2 }
      END { exit (hits > 0 ? 0 : 1) }' "$SMOKE_DIR/metrics.txt"
-# Latency quantiles carry exemplar trace IDs for drill-down.
-grep -q 'trace_id=' "$SMOKE_DIR/metrics.txt"
+# The classic text format has no exemplar syntax: the default scrape
+# must stay parseable by a plain Prometheus scraper.
+if grep -q ' # {' "$SMOKE_DIR/metrics.txt"; then
+  echo "serve-smoke: classic /metrics scrape carries exemplar syntax" >&2
+  exit 1
+fi
+# A scraper negotiating OpenMetrics gets exemplar trace IDs on the
+# latency histogram buckets for drill-down, and a terminating # EOF.
+curl -sf -H 'Accept: application/openmetrics-text' \
+  "http://127.0.0.1:$PORT/metrics" >"$SMOKE_DIR/metrics-openmetrics.txt"
+grep -q '^# EOF$' "$SMOKE_DIR/metrics-openmetrics.txt"
+grep -Eq 'cs_http_request_duration_ms_bucket\{[^}]*\} [0-9]+ # \{trace_id="[0-9a-f]{32}"\}' \
+  "$SMOKE_DIR/metrics-openmetrics.txt"
 
 echo "serve-smoke: trace store and latency attribution"
 curl -sf "http://127.0.0.1:$PORT/debug/traces?limit=200" >"$SMOKE_DIR/traces.json"
