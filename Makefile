@@ -5,7 +5,7 @@ GO ?= go
 FUZZTIME ?= 10s
 LOAD_ADDR ?= http://localhost:8080
 
-.PHONY: all build test race vet lint lint-fix-check fmt-check ci bench bench-obs bench-perf fuzz-smoke serve-smoke loadtest
+.PHONY: all build test race vet lint lint-sarif lint-fix-check fmt-check ci bench bench-obs bench-perf fuzz-smoke serve-smoke loadtest
 
 all: build
 
@@ -21,21 +21,33 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Build the repo's own analyzer suite (all eight analyzers, including
-# the interprocedural goroutinecap/rngshare/nonnegwork trio) and run it
-# over the whole tree. Any finding (see DESIGN.md sections 7 and 9)
-# fails the build; intentional violations carry
+# cslint's own sources. The binary is a real file target keyed on them,
+# so back-to-back lint invocations rebuild nothing (the Go build cache
+# does the incremental work when a source file does change).
+CSLINT_SRCS := $(shell find cmd/cslint internal/analysis -name '*.go' -not -path '*/testdata/*')
+
+bin/cslint: $(CSLINT_SRCS) go.mod
+	$(GO) build -o $@ ./cmd/cslint
+
+# Build the repo's own analyzer suite (all eleven analyzers, including
+# the cfg+dataflow abstract-interpretation trio unitflow/probrange/
+# ctxguard) and run it over the whole tree. Any finding (see DESIGN.md
+# sections 7, 9 and 12) fails the build; intentional violations carry
 # //lint:allow <analyzer> <reason> annotations.
-lint:
-	$(GO) build -o bin/cslint ./cmd/cslint
+lint: bin/cslint
 	./bin/cslint ./...
+
+# Same run, rendered as a SARIF 2.1.0 log for code-scanning UIs. The
+# log is written even when findings make the target fail, so CI can
+# upload it unconditionally.
+lint-sarif: bin/cslint
+	./bin/cslint -sarif ./... > cslint.sarif
 
 # Regenerate the lint baseline into a scratch file and require it to
 # match the committed lint-baseline.json: a fixed finding still listed
 # (stale entry) and a new unbaselined finding both fail, so the
 # baseline only ever shrinks deliberately.
-lint-fix-check:
-	$(GO) build -o bin/cslint ./cmd/cslint
+lint-fix-check: bin/cslint
 	./bin/cslint -baseline bin/lint-baseline.check.json -write-baseline ./...
 	diff -u lint-baseline.json bin/lint-baseline.check.json
 
@@ -58,12 +70,14 @@ serve-smoke:
 loadtest:
 	$(GO) run ./cmd/csload -addr $(LOAD_ADDR)
 
-# Short fuzz sessions over the CLI-facing parsers: no panics, and
-# accepted inputs must round-trip through their canonical names.
+# Short fuzz sessions over the boundary-facing parsers — the CLI spec
+# parsers and the wire-facing traceparent header parser: no panics, and
+# accepted inputs must round-trip through their canonical forms.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParsePolicy$$' -fuzztime $(FUZZTIME) ./internal/nowsim
 	$(GO) test -run '^$$' -fuzz '^FuzzParseDist$$' -fuzztime $(FUZZTIME) ./internal/nowsim
 	$(GO) test -run '^$$' -fuzz '^FuzzBuildLife$$' -fuzztime $(FUZZTIME) ./internal/nowsim
+	$(GO) test -run '^$$' -fuzz '^FuzzParseTraceparent$$' -fuzztime $(FUZZTIME) ./internal/obs
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -113,6 +113,163 @@ func TestJSONOutput(t *testing.T) {
 	}
 }
 
+// sarifLog mirrors the SARIF 2.1.0 subset cslint emits. The test
+// decodes with DisallowUnknownFields both ways: every field here must
+// be in the output, and the output must contain nothing beyond the
+// schema subset — a network-free schema validation.
+type sarifLog struct {
+	Schema  string `json:"$schema"`
+	Version string `json:"version"`
+	Runs    []struct {
+		Tool struct {
+			Driver struct {
+				Name  string `json:"name"`
+				Rules []struct {
+					ID               string `json:"id"`
+					ShortDescription struct {
+						Text string `json:"text"`
+					} `json:"shortDescription"`
+				} `json:"rules"`
+			} `json:"driver"`
+		} `json:"tool"`
+		Results []struct {
+			RuleID    string `json:"ruleId"`
+			RuleIndex int    `json:"ruleIndex"`
+			Level     string `json:"level"`
+			Message   struct {
+				Text string `json:"text"`
+			} `json:"message"`
+			Locations []struct {
+				PhysicalLocation struct {
+					ArtifactLocation struct {
+						URI       string `json:"uri"`
+						URIBaseID string `json:"uriBaseId"`
+					} `json:"artifactLocation"`
+					Region struct {
+						StartLine   int `json:"startLine"`
+						StartColumn int `json:"startColumn"`
+						EndLine     int `json:"endLine"`
+						EndColumn   int `json:"endColumn"`
+					} `json:"region"`
+				} `json:"physicalLocation"`
+			} `json:"locations"`
+		} `json:"results"`
+	} `json:"runs"`
+}
+
+func TestSARIFOutput(t *testing.T) {
+	code, out, _ := runLint(t, filepath.Join("testdata", "dirty"), "-sarif", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	var log sarifLog
+	dec := json.NewDecoder(strings.NewReader(out))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&log); err != nil {
+		t.Fatalf("-sarif output does not match the SARIF 2.1.0 subset: %v\n%s", err, out)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("sarif version = %q, want 2.1.0", log.Version)
+	}
+	if !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("sarif $schema = %q, want a 2.1.0 schema URI", log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("sarif runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "cslint" {
+		t.Errorf("tool.driver.name = %q, want cslint", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(suite.All) {
+		t.Errorf("rules = %d, want %d (one per analyzer)", len(run.Tool.Driver.Rules), len(suite.All))
+	}
+	if len(run.Results) == 0 {
+		t.Fatal("dirty fixture produced no sarif results")
+	}
+	for _, r := range run.Results {
+		if r.RuleIndex < 0 || r.RuleIndex >= len(run.Tool.Driver.Rules) {
+			t.Errorf("result ruleIndex %d out of range", r.RuleIndex)
+			continue
+		}
+		if got := run.Tool.Driver.Rules[r.RuleIndex].ID; got != r.RuleID {
+			t.Errorf("result ruleId %q does not match rules[%d].id %q", r.RuleID, r.RuleIndex, got)
+		}
+		if r.Level != "warning" || r.Message.Text == "" {
+			t.Errorf("result missing level/message: %+v", r)
+		}
+		if len(r.Locations) != 1 {
+			t.Errorf("result has %d locations, want 1", len(r.Locations))
+			continue
+		}
+		pl := r.Locations[0].PhysicalLocation
+		if pl.ArtifactLocation.URIBaseID != "SRCROOT" {
+			t.Errorf("uriBaseId = %q, want SRCROOT", pl.ArtifactLocation.URIBaseID)
+		}
+		if filepath.IsAbs(pl.ArtifactLocation.URI) || strings.Contains(pl.ArtifactLocation.URI, `\`) {
+			t.Errorf("artifact uri %q is not a relative slash path", pl.ArtifactLocation.URI)
+		}
+		reg := pl.Region
+		if reg.StartLine <= 0 || reg.StartColumn <= 0 {
+			t.Errorf("region start not positive: %+v", reg)
+		}
+		if reg.EndLine != 0 && (reg.EndLine < reg.StartLine ||
+			(reg.EndLine == reg.StartLine && reg.EndColumn < reg.StartColumn)) {
+			t.Errorf("region end precedes start: %+v", reg)
+		}
+	}
+
+	// A clean tree still emits a complete, valid log with empty results.
+	code, out, _ = runLint(t, filepath.Join("testdata", "clean"), "-sarif", "./...")
+	if code != 0 {
+		t.Fatalf("clean -sarif exit = %d, want 0\n%s", code, out)
+	}
+	log = sarifLog{}
+	dec = json.NewDecoder(strings.NewReader(out))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&log); err != nil {
+		t.Fatalf("clean -sarif output invalid: %v\n%s", err, out)
+	}
+	if len(log.Runs) != 1 || len(log.Runs[0].Results) != 0 {
+		t.Errorf("clean tree sarif should have one run with zero results:\n%s", out)
+	}
+	if len(log.Runs[0].Tool.Driver.Rules) != len(suite.All) {
+		t.Errorf("clean tree sarif still documents %d rules, want %d", len(log.Runs[0].Tool.Driver.Rules), len(suite.All))
+	}
+}
+
+// TestJSONEndOffsets pins the endLine/endCol fields: range-reporting
+// analyzers must carry a span, and end never precedes start.
+func TestJSONEndOffsets(t *testing.T) {
+	code, out, _ := runLint(t, filepath.Join("testdata", "dirty"), "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	var diags []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		EndLine int    `json:"endLine"`
+		EndCol  int    `json:"endCol"`
+	}
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("-json output: %v\n%s", err, out)
+	}
+	withEnd := 0
+	for _, d := range diags {
+		if d.EndLine == 0 {
+			continue
+		}
+		withEnd++
+		if d.EndLine < d.Line || (d.EndLine == d.Line && d.EndCol < d.Col) {
+			t.Errorf("diagnostic end %d:%d precedes start %d:%d in %s", d.EndLine, d.EndCol, d.Line, d.Col, d.File)
+		}
+	}
+	if withEnd == 0 {
+		t.Error("no diagnostic carried an end offset; range reporting is wired to -json")
+	}
+}
+
 func TestBaseline(t *testing.T) {
 	bl := filepath.Join(t.TempDir(), "lint-baseline.json")
 

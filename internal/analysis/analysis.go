@@ -50,8 +50,12 @@ type Analyzer struct {
 }
 
 // A Diagnostic is one finding, positioned in the analyzed package.
+// End, when valid, marks the end of the offending expression so
+// drivers can render the full span (SARIF regions, editor squiggles);
+// NoPos degrades to a point diagnostic.
 type Diagnostic struct {
 	Pos     token.Pos
+	End     token.Pos
 	Message string
 }
 
@@ -73,9 +77,21 @@ type sharedEntry struct {
 	err error
 }
 
-// Reportf reports a formatted diagnostic at pos.
+// Reportf reports a formatted point diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Range is anything with a source extent — every ast.Node qualifies.
+type Range interface {
+	Pos() token.Pos
+	End() token.Pos
+}
+
+// ReportRangef reports a formatted diagnostic spanning rng (typically
+// the offending expression).
+func (p *Pass) ReportRangef(rng Range, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: rng.Pos(), End: rng.End(), Message: fmt.Sprintf(format, args...)})
 }
 
 // Facts returns the facts blob exported under namespace ns by an
@@ -124,10 +140,12 @@ func PkgBase(path string) string {
 }
 
 // A Finding is a resolved diagnostic: position translated, analyzer
-// attached, suppression already applied.
+// attached, suppression already applied. End is the zero Position for
+// point diagnostics.
 type Finding struct {
 	Analyzer string
 	Pos      token.Position
+	End      token.Position
 	Message  string
 }
 
@@ -169,7 +187,11 @@ func (s *Session) Run(fset *token.FileSet, files []*ast.File, pkg *types.Package
 			if sup.Allowed(fset, d.Pos, name) {
 				return
 			}
-			out = append(out, Finding{Analyzer: name, Pos: fset.Position(d.Pos), Message: d.Message})
+			f := Finding{Analyzer: name, Pos: fset.Position(d.Pos), Message: d.Message}
+			if d.End.IsValid() {
+				f.End = fset.Position(d.End)
+			}
+			out = append(out, f)
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)

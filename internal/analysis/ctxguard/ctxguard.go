@@ -1,0 +1,342 @@
+// Package ctxguard enforces context lifetime discipline in the
+// serving path. A context.Context carries the request's deadline and
+// cancellation; the serving guideline it encodes — steal cycles only
+// while the owner is absent — only works if cancellation actually
+// propagates. Three bug shapes defeat it:
+//
+//   - a ctx stored in a struct field outlives the request that created
+//     it: whoever reads the field later observes a deadline from a
+//     finished request (or pins its values alive)
+//   - a goroutine that captures the handler's ctx without a join
+//     barrier keeps running after the handler returns, exactly the
+//     runaway background work the pool/singleflight machinery exists
+//     to prevent
+//   - a context.WithCancel/WithTimeout/WithDeadline whose cancel
+//     function is not called on every exit path leaks the context's
+//     timer and child registration until the parent itself dies
+//
+// The cancel check is path-sensitive: it runs a may-analysis over the
+// function's CFG (internal/analysis/cfg + dataflow) where the state is
+// the set of cancel functions still pending, joined by union, so a
+// cancel called on the happy path but skipped by an early return is
+// still reported. Any other use of the cancel variable — deferring it,
+// returning it, passing it along, storing it — counts as an escape and
+// silences the check (the responsibility moved, soundly, to someone
+// the analysis cannot see). The goroutine check consults the flow
+// engine's barrier positions, so spawns joined by a WaitGroup.Wait or
+// channel receive before the function returns stay silent.
+package ctxguard
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/dataflow"
+	"repro/internal/analysis/flow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxguard",
+	Doc:  "flag stored contexts, goroutines outliving their handler, and cancel functions skipped on some exit path",
+	Run:  run,
+}
+
+// guarded names the serving-path packages.
+var guarded = map[string]bool{
+	"serve":   true,
+	"obs":     true,
+	"csserve": true,
+}
+
+func run(pass *analysis.Pass) error {
+	// Build flow info (and export its facts) unconditionally, as every
+	// flow-based analyzer does, so import order cannot matter.
+	fl, err := flow.Of(pass)
+	if err != nil {
+		return err
+	}
+	if !guarded[analysis.PkgBase(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		checkStructFields(pass, f)
+	}
+	for _, fi := range fl.Funcs {
+		if fi.Decl.Body == nil {
+			continue
+		}
+		checkLostCancel(pass, fi.Decl)
+		checkSpawns(pass, fi)
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkStructFields flags context.Context struct fields: a stored ctx
+// outlives the call that created it.
+func checkStructFields(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok || st.Fields == nil {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			t := pass.TypesInfo.TypeOf(field.Type)
+			if t == nil || !isContextType(t) {
+				continue
+			}
+			name := "embedded field"
+			if len(field.Names) > 0 {
+				name = "field " + field.Names[0].Name
+			}
+			pass.ReportRangef(field, "context stored in struct %s outlives the request that created it; pass ctx as a call argument instead", name)
+		}
+		return true
+	})
+}
+
+// withCancelCallee returns the name of the context constructor called,
+// or "" when call is not context.WithCancel/WithTimeout/WithDeadline.
+func withCancelCallee(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	switch fn.Name() {
+	case "WithCancel", "WithTimeout", "WithDeadline":
+		return fn.Name()
+	}
+	return ""
+}
+
+// A cancelSite is one `ctx, cancel := context.WithX(...)` binding.
+type cancelSite struct {
+	v      *types.Var // the cancel variable
+	assign *ast.AssignStmt
+	callee string
+}
+
+// pendingSet is the may-analysis state: cancel variables bound but not
+// yet called (or escaped) on some path reaching this point.
+type pendingSet map[*types.Var]*cancelSite
+
+type pendingLattice struct{}
+
+func (pendingLattice) Bottom() pendingSet { return nil }
+func (pendingLattice) Join(a, b pendingSet) pendingSet {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make(pendingSet, len(a)+len(b))
+	for v, s := range a {
+		out[v] = s
+	}
+	for v, s := range b {
+		out[v] = s
+	}
+	return out
+}
+func (pendingLattice) Equal(a, b pendingSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v := range a {
+		if _, ok := b[v]; !ok {
+			return false
+		}
+	}
+	return true
+}
+func (pendingLattice) Widen(prev, next pendingSet) pendingSet { return next }
+
+// checkLostCancel reports WithCancel/WithTimeout/WithDeadline whose
+// cancel function can reach function exit without being called.
+func checkLostCancel(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Collect cancel bindings first; most functions have none.
+	sites := make(map[*ast.AssignStmt]*cancelSite)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 2 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := withCancelCallee(pass, call)
+		if callee == "" {
+			return true
+		}
+		id, ok := as.Lhs[1].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if id.Name == "_" {
+			pass.ReportRangef(as, "the cancel function returned by context.%s is discarded: the context leaks until its parent is cancelled", callee)
+			return true
+		}
+		v, _ := pass.TypesInfo.Defs[id].(*types.Var)
+		if v == nil {
+			v, _ = pass.TypesInfo.Uses[id].(*types.Var)
+		}
+		if v != nil {
+			sites[as] = &cancelSite{v: v, assign: as, callee: callee}
+		}
+		return true
+	})
+	if len(sites) == 0 {
+		return
+	}
+	vars := make(map[*types.Var]bool, len(sites))
+	for _, s := range sites {
+		vars[s.v] = true
+	}
+
+	g := cfg.Build(fd.Body)
+	res, err := dataflow.Forward(g, dataflow.Problem[pendingSet]{
+		Lattice: pendingLattice{},
+		Entry:   pendingSet{},
+		Transfer: func(b *cfg.Block, in pendingSet) pendingSet {
+			out := pendingLattice{}.Join(nil, in) // reuse; copy lazily below
+			copied := false
+			ensure := func() {
+				if !copied {
+					cp := make(pendingSet, len(out))
+					for v, s := range out {
+						cp[v] = s
+					}
+					out, copied = cp, true
+				}
+			}
+			// Any use of a cancel variable discharges it: a call
+			// cancels, everything else (defer, return, argument,
+			// store) escapes to an owner the analysis cannot see.
+			scan := func(n ast.Node) {
+				ast.Inspect(n, func(c ast.Node) bool {
+					id, ok := c.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					v, _ := pass.TypesInfo.Uses[id].(*types.Var)
+					if v == nil || !vars[v] {
+						return true
+					}
+					if _, pending := out[v]; pending {
+						ensure()
+						delete(out, v)
+					}
+					return true
+				})
+			}
+			for _, n := range b.Nodes {
+				// RangeHeader is the CFG's synthetic node; hand its real
+				// subexpressions to ast.Inspect, never the wrapper.
+				if rh, ok := n.(*cfg.RangeHeader); ok {
+					if rh.Range.Key != nil {
+						scan(rh.Range.Key)
+					}
+					if rh.Range.Value != nil {
+						scan(rh.Range.Value)
+					}
+					scan(rh.Range.X)
+					continue
+				}
+				scan(n)
+				if as, ok := n.(*ast.AssignStmt); ok {
+					if s := sites[as]; s != nil {
+						ensure()
+						out[s.v] = s
+					}
+				}
+			}
+			return out
+		},
+	})
+	if err != nil {
+		return
+	}
+	// Deterministic order: report in source order of the bindings.
+	var leaked []*cancelSite
+	for _, s := range res.In[g.Exit] {
+		leaked = append(leaked, s)
+	}
+	sortSites(leaked)
+	for _, s := range leaked {
+		pass.ReportRangef(s.assign, "the cancel function from context.%s is not called on every path to return; defer it at the binding", s.callee)
+	}
+}
+
+func sortSites(ss []*cancelSite) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j].assign.Pos() < ss[j-1].assign.Pos(); j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+// checkSpawns flags goroutines that capture a context-typed variable
+// of the enclosing function with no synchronization barrier between
+// the spawn and the function's end: the goroutine can outlive the
+// handler whose deadline it inherited.
+func checkSpawns(pass *analysis.Pass, fi *flow.FuncInfo) {
+	for _, sp := range fi.Spawns {
+		if fi.BarrierBetween(sp.Go.Pos(), fi.Decl.End()) {
+			continue
+		}
+		if sp.Lit != nil {
+			reportCapturedCtx(pass, fi, sp.Lit)
+			continue
+		}
+		// go f(ctx): the context escapes into the spawned call directly.
+		for _, arg := range sp.Go.Call.Args {
+			t := pass.TypesInfo.TypeOf(arg)
+			if t != nil && isContextType(t) {
+				pass.ReportRangef(arg, "goroutine receives a context and is never joined before return: it can outlive the request; join it or hand it a context it owns")
+				break
+			}
+		}
+	}
+}
+
+func reportCapturedCtx(pass *analysis.Pass, fi *flow.FuncInfo, lit *ast.FuncLit) {
+	done := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if done {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, _ := pass.TypesInfo.Uses[id].(*types.Var)
+		if v == nil || v.IsField() || !isContextType(v.Type()) {
+			return true
+		}
+		// Captured: declared in the enclosing function, before the
+		// literal (parameters included).
+		if v.Pos() < fi.Decl.Pos() || v.Pos() >= lit.Pos() {
+			return true
+		}
+		pass.ReportRangef(id, "goroutine captures %s (context.Context) and is never joined before return: it can outlive the request; join it or hand it a context it owns", id.Name)
+		done = true
+		return false
+	})
+}

@@ -1,0 +1,12 @@
+package ctxguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxguard"
+)
+
+func TestCtxGuard(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxguard.Analyzer, "serve")
+}

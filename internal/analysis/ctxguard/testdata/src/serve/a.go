@@ -1,0 +1,110 @@
+// Fixture for the ctxguard analyzer, named serve so the guarded
+// package gate applies.
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func use(context.Context) {}
+
+// True positive: a context stored in a struct field outlives the
+// request that created it.
+type session struct {
+	ctx context.Context // want `context stored in struct field ctx outlives the request`
+	id  int
+}
+
+// True positive: the early return skips cancel.
+func earlyReturn(parent context.Context, ready bool) context.Context {
+	ctx, cancel := context.WithCancel(parent) // want `cancel function from context.WithCancel is not called on every path`
+	if !ready {
+		return ctx
+	}
+	cancel()
+	return ctx
+}
+
+// True positive: the cancel function is discarded outright.
+func discard(parent context.Context) context.Context {
+	ctx, _ := context.WithTimeout(parent, time.Second) // want `cancel function returned by context.WithTimeout is discarded`
+	return ctx
+}
+
+// True positive: the goroutine captures the handler's ctx and is
+// never joined, so it can outlive the request.
+func spawnLeak(ctx context.Context) {
+	go func() {
+		use(ctx) // want `goroutine captures ctx \(context.Context\) and is never joined`
+	}()
+}
+
+// True positive: same leak through a direct spawn argument.
+func spawnDirect(ctx context.Context) {
+	go use(ctx) // want `goroutine receives a context and is never joined`
+}
+
+// Non-finding: the canonical defer-at-binding pattern.
+func okDefer(parent context.Context) {
+	ctx, cancel := context.WithTimeout(parent, time.Second)
+	defer cancel()
+	use(ctx)
+}
+
+// Non-finding: cancel called explicitly on every path.
+func okAllPaths(parent context.Context, ready bool) {
+	ctx, cancel := context.WithCancel(parent)
+	if !ready {
+		cancel()
+		return
+	}
+	use(ctx)
+	cancel()
+}
+
+// Non-finding: the cancel function escapes to the caller, which takes
+// over the obligation.
+func okEscapes(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	return ctx, cancel
+}
+
+// Non-finding: the goroutine is joined before the function returns,
+// so it cannot outlive the request.
+func okJoin(ctx context.Context) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		use(ctx)
+	}()
+	wg.Wait()
+}
+
+// Non-finding (regression): range loops put a synthetic RangeHeader in
+// the CFG's node list, which once crashed the cancel-tracking walk; the
+// deferred cancel must still discharge across the loop.
+func okRange(parent context.Context, keys []string) {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	for _, k := range keys {
+		_ = k
+		use(ctx)
+	}
+}
+
+// Non-finding: a CancelFunc field is how owners keep the obligation;
+// only stored contexts are flagged.
+type flight struct {
+	cancel context.CancelFunc
+}
+
+// Non-finding (suppressed): a bounded queue item carries the ctx that
+// scopes the task it travels with.
+type task struct {
+	//lint:allow ctxguard bounded queue: the ctx scopes the queued task and dies with it
+	ctx context.Context
+	fn  func(context.Context)
+}

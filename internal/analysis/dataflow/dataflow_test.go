@@ -1,0 +1,274 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/cfg"
+)
+
+func buildGraph(t *testing.T, src string) *cfg.Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return cfg.Build(fd.Body)
+		}
+	}
+	t.Fatal("no function")
+	return nil
+}
+
+// setLattice is a finite powerset domain over variable names.
+type setLattice struct{}
+
+func (setLattice) Bottom() map[string]bool { return nil }
+func (setLattice) Join(a, b map[string]bool) map[string]bool {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+func (setLattice) Equal(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+func (setLattice) Widen(prev, next map[string]bool) map[string]bool { return next }
+
+func names(s map[string]bool) string {
+	var out []string
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ",")
+}
+
+// assignedVars transfers a block by adding every plainly assigned
+// identifier.
+func assignedVars(b *cfg.Block, in map[string]bool) map[string]bool {
+	out := in
+	add := func(name string) {
+		next := make(map[string]bool, len(out)+1)
+		for k := range out {
+			next[k] = true
+		}
+		next[name] = true
+		out = next
+	}
+	for _, n := range b.Nodes {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					add(id.Name)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestForwardJoinsBranches(t *testing.T) {
+	g := buildGraph(t, `func f(c bool) {
+		a := 1
+		if c {
+			b := 2
+			_ = b
+		} else {
+			d := 3
+			_ = d
+		}
+		e := 4
+		_ = e
+	}`)
+	res, err := Forward(g, Problem[map[string]bool]{
+		Lattice:  setLattice{},
+		Entry:    map[string]bool{},
+		Transfer: assignedVars,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := names(res.In[g.Exit])
+	// Exit sees the union of both arms plus the common code.
+	if got != "a,b,d,e" {
+		t.Fatalf("exit in-state = %q, want a,b,d,e", got)
+	}
+}
+
+func TestForwardLoopFixpoint(t *testing.T) {
+	g := buildGraph(t, `func f(n int) {
+		i := 0
+		for i < n {
+			j := i
+			_ = j
+			i = i + 1
+		}
+		k := 9
+		_ = k
+	}`)
+	res, err := Forward(g, Problem[map[string]bool]{
+		Lattice:  setLattice{},
+		Entry:    map[string]bool{},
+		Transfer: assignedVars,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := names(res.In[g.Exit]); got != "i,j,k" {
+		t.Fatalf("exit in-state = %q, want i,j,k", got)
+	}
+}
+
+// boundLattice is an infinite-height counter domain: the abstract
+// value is the maximum number of increments seen on any path, with -1
+// playing infinity. Without widening a loop would ratchet it forever.
+type boundLattice struct{}
+
+const inf = -1
+
+func (boundLattice) Bottom() int { return 0 }
+func (boundLattice) Join(a, b int) int {
+	if a == inf || b == inf {
+		return inf
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+func (boundLattice) Equal(a, b int) bool { return a == b }
+func (boundLattice) Widen(prev, next int) int {
+	if next != prev {
+		return inf
+	}
+	return next
+}
+
+func TestWideningTerminatesInfiniteHeightDomain(t *testing.T) {
+	g := buildGraph(t, `func f(n int) {
+		s := 0
+		for i := 0; i < n; i++ {
+			s = s + 1
+		}
+		_ = s
+	}`)
+	res, err := Forward(g, Problem[int]{
+		Lattice: boundLattice{},
+		Entry:   0,
+		Transfer: func(b *cfg.Block, in int) int {
+			if in == inf {
+				return inf
+			}
+			for _, n := range b.Nodes {
+				if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.ASSIGN {
+					in++
+					_ = as
+				}
+			}
+			return in
+		},
+	})
+	if err != nil {
+		t.Fatalf("widening failed to converge: %v", err)
+	}
+	if got := res.In[g.Exit]; got != inf {
+		t.Fatalf("exit bound = %d, want widened infinity", got)
+	}
+}
+
+// polarity checks that EdgeTransfer sees branch conditions with their
+// negation flag.
+func TestEdgeRefinement(t *testing.T) {
+	g := buildGraph(t, `func f(x int) {
+		if x < 0 {
+			a := 1
+			_ = a
+		} else {
+			b := 2
+			_ = b
+		}
+	}`)
+	res, err := Forward(g, Problem[string]{
+		Lattice: stringLattice{},
+		Entry:   "top",
+		Transfer: func(b *cfg.Block, in string) string {
+			return in
+		},
+		EdgeTransfer: func(e *cfg.Edge, out string) string {
+			if e.Cond == nil {
+				return out
+			}
+			if e.Negated {
+				return "nonneg"
+			}
+			return "neg"
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the blocks holding each arm's assignment.
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.DEFINE {
+				continue
+			}
+			id := as.Lhs[0].(*ast.Ident)
+			switch id.Name {
+			case "a":
+				if res.In[blk] != "neg" {
+					t.Errorf("then-arm in-state = %q, want neg", res.In[blk])
+				}
+			case "b":
+				if res.In[blk] != "nonneg" {
+					t.Errorf("else-arm in-state = %q, want nonneg", res.In[blk])
+				}
+			}
+		}
+	}
+}
+
+type stringLattice struct{}
+
+func (stringLattice) Bottom() string { return "" }
+func (stringLattice) Join(a, b string) string {
+	if a == "" {
+		return b
+	}
+	if b == "" {
+		return a
+	}
+	if a == b {
+		return a
+	}
+	return "top"
+}
+func (stringLattice) Equal(a, b string) bool      { return a == b }
+func (stringLattice) Widen(_, next string) string { return next }

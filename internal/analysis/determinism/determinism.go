@@ -57,7 +57,7 @@ func run(pass *analysis.Pass) error {
 		for _, imp := range f.Imports {
 			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
 				if p == "math/rand" || p == "math/rand/v2" {
-					pass.Reportf(imp.Pos(), "import of %s in a simulator package: use the seeded repro/internal/rng for reproducible streams", p)
+					pass.ReportRangef(imp, "import of %s in a simulator package: use the seeded repro/internal/rng for reproducible streams", p)
 				}
 			}
 		}
@@ -65,12 +65,12 @@ func run(pass *analysis.Pass) error {
 			switch n := n.(type) {
 			case *ast.SelectorExpr:
 				if fn, ok := pass.TypesInfo.Uses[n.Sel].(*types.Func); ok && wallClock[fn.FullName()] {
-					pass.Reportf(n.Pos(), "%s reads the wall clock in a simulator package: use the simulated clock", fn.FullName())
+					pass.ReportRangef(n, "%s reads the wall clock in a simulator package: use the simulated clock", fn.FullName())
 				}
 			case *ast.RangeStmt:
 				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
 					if _, ok := t.Underlying().(*types.Map); ok {
-						pass.Reportf(n.Pos(), "range over a map has nondeterministic order in a simulator package: iterate sorted keys or annotate //lint:allow determinism")
+						pass.ReportRangef(n.X, "range over a map has nondeterministic order in a simulator package: iterate sorted keys or annotate //lint:allow determinism")
 					}
 				}
 			}

@@ -1,0 +1,315 @@
+package dim
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// A BadAnnot is one malformed //cs:unit annotation; the unitflow
+// analyzer surfaces these as diagnostics so typos do not silently
+// disable checking.
+type BadAnnot struct {
+	Pos token.Pos
+	Msg string
+}
+
+// unitRest extracts the payload of a cs:unit comment line: the text
+// after the marker, "" and false when c is not an annotation.
+func unitRest(c *ast.Comment) (string, bool) {
+	text := strings.TrimPrefix(c.Text, "//")
+	text = strings.TrimPrefix(text, "/*")
+	text = strings.TrimSuffix(text, "*/")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "cs:unit") {
+		return "", false
+	}
+	rest := strings.TrimPrefix(text, "cs:unit")
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // cs:unitary or similar
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// groupRest returns the first cs:unit payload in a comment group.
+func groupRest(g *ast.CommentGroup) (string, token.Pos, bool) {
+	if g == nil {
+		return "", token.NoPos, false
+	}
+	for _, c := range g.List {
+		if rest, ok := unitRest(c); ok {
+			return rest, c.Pos(), true
+		}
+	}
+	return "", token.NoPos, false
+}
+
+type kv struct {
+	key, val string
+}
+
+// parseNamed splits the named form "t=time c=time return=work" into
+// key/value pairs.
+func parseNamed(rest string) ([]kv, []string) {
+	var kvs []kv
+	var errs []string
+	for _, tok := range strings.Fields(rest) {
+		eq := strings.IndexByte(tok, '=')
+		if eq <= 0 || eq == len(tok)-1 {
+			errs = append(errs, "want name=dim pairs, got "+tok)
+			continue
+		}
+		kvs = append(kvs, kv{tok[:eq], tok[eq+1:]})
+	}
+	if len(kvs) == 0 && len(errs) == 0 {
+		errs = append(errs, "empty annotation")
+	}
+	return kvs, errs
+}
+
+// buildFuncDims resolves named-form pairs against a signature's
+// parameter and result lists. hasRecv shifts declared parameters by
+// one so Params is receiver-first; recvName (or the literal "recv")
+// addresses index 0.
+func buildFuncDims(recvName string, hasRecv bool, params, results *ast.FieldList, kvs []kv) (FuncDims, []string) {
+	var errs []string
+	nParams := 0
+	if hasRecv {
+		nParams = 1
+	}
+	paramIdx := make(map[string]int)
+	if hasRecv {
+		paramIdx["recv"] = 0
+		if recvName != "" {
+			paramIdx[recvName] = 0
+		}
+	}
+	if params != nil {
+		for _, f := range params.List {
+			if len(f.Names) == 0 {
+				nParams++
+				continue
+			}
+			for _, name := range f.Names {
+				paramIdx[name.Name] = nParams
+				nParams++
+			}
+		}
+	}
+	nResults := 0
+	resultIdx := make(map[string]int)
+	if results != nil {
+		for _, f := range results.List {
+			if len(f.Names) == 0 {
+				nResults++
+				continue
+			}
+			for _, name := range f.Names {
+				resultIdx[name.Name] = nResults
+				nResults++
+			}
+		}
+	}
+	fd := FuncDims{Params: make([]Dim, nParams), Results: make([]Dim, nResults)}
+	for _, p := range kvs {
+		if p.key == "return" {
+			for i, part := range strings.Split(p.val, ",") {
+				d, ok := ParseDim(part)
+				if !ok {
+					errs = append(errs, "unknown dimension "+part)
+					continue
+				}
+				if i >= nResults {
+					errs = append(errs, "return dimension "+part+" has no result to bind")
+					continue
+				}
+				fd.Results[i] = d
+			}
+			continue
+		}
+		d, ok := ParseDim(p.val)
+		if !ok {
+			errs = append(errs, "unknown dimension "+p.val)
+			continue
+		}
+		if i, ok := paramIdx[p.key]; ok {
+			fd.Params[i] = d
+		} else if i, ok := resultIdx[p.key]; ok {
+			fd.Results[i] = d
+		} else {
+			errs = append(errs, "no parameter or result named "+p.key)
+		}
+	}
+	return fd, errs
+}
+
+// collectAnnots walks the package's files gathering every //cs:unit
+// declaration into the engine's maps.
+func (in *Info) collectAnnots() {
+	info := in.TypesInfo
+	for _, file := range in.pass.Files {
+		// Trailing-comment annotations on short variable declarations
+		// are not attached to any AST node; index them by line.
+		type lineAnnot struct {
+			dim Dim
+			pos token.Pos
+		}
+		lineAnnots := make(map[int]lineAnnot)
+		for _, g := range file.Comments {
+			for _, c := range g.List {
+				rest, ok := unitRest(c)
+				if !ok {
+					continue
+				}
+				if d, ok := ParseDim(rest); ok {
+					line := in.Fset.Position(c.Pos()).Line
+					lineAnnots[line] = lineAnnot{d, c.Pos()}
+				}
+			}
+		}
+
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				rest, pos, ok := groupRest(n.Doc)
+				if !ok {
+					return true
+				}
+				obj, _ := info.Defs[n.Name].(*types.Func)
+				if obj == nil {
+					return true
+				}
+				kvs, errs := parseNamed(rest)
+				recvName := ""
+				hasRecv := n.Recv != nil
+				if hasRecv && len(n.Recv.List) > 0 && len(n.Recv.List[0].Names) > 0 {
+					recvName = n.Recv.List[0].Names[0].Name
+				}
+				fd, more := buildFuncDims(recvName, hasRecv, n.Type.Params, n.Type.Results, kvs)
+				errs = append(errs, more...)
+				for _, e := range errs {
+					in.BadAnnots = append(in.BadAnnots, BadAnnot{pos, e})
+				}
+				if !fd.empty() {
+					in.funcDims[obj] = fd
+					// Seed parameter objects too, so the body analysis and
+					// storage-dim lookups agree with the signature.
+					in.seedParamDims(obj, fd)
+				}
+			case *ast.TypeSpec:
+				switch t := n.Type.(type) {
+				case *ast.StructType:
+					in.collectStructAnnots(n.Name.Name, t)
+				case *ast.InterfaceType:
+					in.collectInterfaceAnnots(t)
+				}
+			case *ast.ValueSpec:
+				rest, pos, ok := groupRest(n.Comment)
+				if !ok {
+					rest, pos, ok = groupRest(n.Doc)
+				}
+				if !ok {
+					return true
+				}
+				d, dok := ParseDim(rest)
+				if !dok {
+					in.BadAnnots = append(in.BadAnnots, BadAnnot{pos, "unknown dimension " + rest})
+					return true
+				}
+				for _, name := range n.Names {
+					v, _ := info.Defs[name].(*types.Var)
+					if v == nil {
+						continue
+					}
+					in.objDims[v] = d
+					if v.Parent() == in.Pkg.Scope() {
+						in.varKeys[v] = v.Name()
+					}
+				}
+			case *ast.AssignStmt:
+				if n.Tok != token.DEFINE {
+					return true
+				}
+				la, ok := lineAnnots[in.Fset.Position(n.End()).Line]
+				if !ok {
+					return true
+				}
+				if len(n.Lhs) != 1 {
+					in.BadAnnots = append(in.BadAnnots, BadAnnot{la.pos, "trailing cs:unit needs a single-variable declaration"})
+					return true
+				}
+				if id, ok := n.Lhs[0].(*ast.Ident); ok {
+					if v, _ := info.Defs[id].(*types.Var); v != nil {
+						in.objDims[v] = la.dim
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (in *Info) collectStructAnnots(typeName string, st *ast.StructType) {
+	if st.Fields == nil {
+		return
+	}
+	for _, f := range st.Fields.List {
+		rest, pos, ok := groupRest(f.Comment)
+		if !ok {
+			rest, pos, ok = groupRest(f.Doc)
+		}
+		if !ok {
+			continue
+		}
+		d, dok := ParseDim(rest)
+		if !dok {
+			in.BadAnnots = append(in.BadAnnots, BadAnnot{pos, "unknown dimension " + rest})
+			continue
+		}
+		if len(f.Names) == 0 {
+			in.BadAnnots = append(in.BadAnnots, BadAnnot{pos, "cannot annotate an embedded field"})
+			continue
+		}
+		for _, name := range f.Names {
+			v, _ := in.TypesInfo.Defs[name].(*types.Var)
+			if v == nil {
+				continue
+			}
+			in.objDims[v] = d
+			in.varKeys[v] = typeName + "." + name.Name
+		}
+	}
+}
+
+func (in *Info) collectInterfaceAnnots(it *ast.InterfaceType) {
+	if it.Methods == nil {
+		return
+	}
+	for _, m := range it.Methods.List {
+		ft, ok := m.Type.(*ast.FuncType)
+		if !ok || len(m.Names) == 0 {
+			continue
+		}
+		rest, pos, rok := groupRest(m.Doc)
+		if !rok {
+			rest, pos, rok = groupRest(m.Comment)
+		}
+		if !rok {
+			continue
+		}
+		obj, _ := in.TypesInfo.Defs[m.Names[0]].(*types.Func)
+		if obj == nil {
+			continue
+		}
+		kvs, errs := parseNamed(rest)
+		fd, more := buildFuncDims("", true, ft.Params, ft.Results, kvs)
+		errs = append(errs, more...)
+		for _, e := range errs {
+			in.BadAnnots = append(in.BadAnnots, BadAnnot{pos, e})
+		}
+		if !fd.empty() {
+			in.funcDims[obj] = fd
+		}
+	}
+}

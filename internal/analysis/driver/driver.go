@@ -41,6 +41,7 @@ func Main(argv []string, stdout, stderr io.Writer, analyzers []*analysis.Analyze
 	version := fs.String("V", "", "print version and exit (go vet protocol)")
 	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON (go vet protocol)")
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (standalone mode)")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log (standalone mode)")
 	baseline := fs.String("baseline", "", "suppress findings recorded in this baseline file (standalone mode)")
 	writeBaseline := fs.Bool("write-baseline", false, "write current findings to the -baseline file (default lint-baseline.json) and exit 0")
 	enabled := make(map[string]*bool, len(analyzers))
@@ -111,6 +112,7 @@ func Main(argv []string, stdout, stderr io.Writer, analyzers []*analysis.Analyze
 	}
 	opts := standaloneOpts{
 		json:          *jsonOut,
+		sarif:         *sarifOut,
 		baseline:      *baseline,
 		writeBaseline: *writeBaseline,
 	}
@@ -119,16 +121,22 @@ func Main(argv []string, stdout, stderr io.Writer, analyzers []*analysis.Analyze
 
 type standaloneOpts struct {
 	json          bool
+	sarif         bool
 	baseline      string
 	writeBaseline bool
 }
 
 // jsonDiag is one finding in -json output: the documented, stable
-// machine-readable schema for editors and CI.
+// machine-readable schema for editors and CI. EndLine/EndCol bound the
+// offending expression when the analyzer reported a range (they are
+// omitted for point diagnostics), so editors can underline the exact
+// span instead of guessing a token.
 type jsonDiag struct {
 	File     string `json:"file"`
 	Line     int    `json:"line"`
 	Col      int    `json:"col"`
+	EndLine  int    `json:"endLine,omitempty"`
+	EndCol   int    `json:"endCol,omitempty"`
 	Analyzer string `json:"analyzer"`
 	Message  string `json:"message"`
 }
@@ -209,16 +217,27 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer, opts stand
 		all = remaining
 	}
 
-	if opts.json {
+	switch {
+	case opts.sarif:
+		if err := writeSARIF(stdout, analyzers, all); err != nil {
+			fmt.Fprintln(stderr, "cslint:", err)
+			return 2
+		}
+	case opts.json:
 		diags := make([]jsonDiag, 0, len(all))
 		for _, f := range all {
-			diags = append(diags, jsonDiag{
+			d := jsonDiag{
 				File:     f.Pos.Filename,
 				Line:     f.Pos.Line,
 				Col:      f.Pos.Column,
 				Analyzer: f.Analyzer,
 				Message:  f.Message,
-			})
+			}
+			if f.End.Line > 0 {
+				d.EndLine = f.End.Line
+				d.EndCol = f.End.Column
+			}
+			diags = append(diags, d)
 		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
@@ -226,7 +245,7 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer, opts stand
 			fmt.Fprintln(stderr, "cslint:", err)
 			return 2
 		}
-	} else {
+	default:
 		for _, f := range all {
 			fmt.Fprintln(stdout, f)
 		}

@@ -52,7 +52,7 @@ func run(pass *analysis.Pass) error {
 			}
 			fromObs := fn.Pkg() != nil && analysis.PkgBase(fn.Pkg().Path()) == "obs"
 			if fromObs || (inObs && writerMethods[fn.Name()]) {
-				pass.Reportf(call.Pos(), "error from %s is dropped; check it or assign to _ explicitly", fn.FullName())
+				pass.ReportRangef(call, "error from %s is dropped; check it or assign to _ explicitly", fn.FullName())
 			}
 			return true
 		})

@@ -69,7 +69,7 @@ func checkCmp(pass *analysis.Pass, cmp *ast.BinaryExpr) {
 	if exactOperand(pass, cmp.X) || exactOperand(pass, cmp.Y) {
 		return
 	}
-	pass.Reportf(cmp.OpPos, "exact floating-point comparison (%s); compare within a tolerance or annotate //lint:allow floatcmp", cmp.Op)
+	pass.ReportRangef(cmp, "exact floating-point comparison (%s); compare within a tolerance or annotate //lint:allow floatcmp", cmp.Op)
 }
 
 func isFloat(pass *analysis.Pass, e ast.Expr) bool {

@@ -114,7 +114,7 @@ func checkDirect(pass *analysis.Pass, in *flow.Info, fi *flow.FuncInfo) {
 		if fi.ComparedPair(x, y) {
 			return true // clamped by an explicit ordering guard
 		}
-		pass.Reportf(be.Pos(),
+		pass.ReportRangef(be,
 			"raw subtraction of overhead/cost %q can go negative: route work quantities through sched.PositiveSub (the paper's t ⊖ c)",
 			exprName(be.Y))
 		return true
@@ -135,7 +135,7 @@ func checkCalls(pass *analysis.Pass, in *flow.Info, fi *flow.FuncInfo) {
 			if y == nil || !overheadLike(fi, in.TypesInfo, y) || !isFloat(in.TypesInfo, y) {
 				continue
 			}
-			pass.Reportf(site.Call.Pos(),
+			pass.ReportRangef(site.Call,
 				"call to %s hides a raw work subtraction (returns its argument minus %q unclamped): use sched.PositiveSub",
 				site.Callee.Name(), exprName(y))
 			break

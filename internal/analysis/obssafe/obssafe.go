@@ -75,7 +75,7 @@ func checkFieldCall(pass *analysis.Pass, call *ast.CallExpr) {
 	if !ok || sel.Kind() != types.FieldVal {
 		return
 	}
-	pass.Reportf(call.Pos(), "%s.%s called through the %s field bypasses the nil-safe Obs wrapper; emit via the wrapper or a nil-checked local", name, method.Sel.Name, name)
+	pass.ReportRangef(call, "%s.%s called through the %s field bypasses the nil-safe Obs wrapper; emit via the wrapper or a nil-checked local", name, method.Sel.Name, name)
 }
 
 // isObsEvent reports whether t (after pointer stripping) is a named
@@ -111,7 +111,7 @@ func checkSpanLiteral(pass *analysis.Pass, lit *ast.CompositeLit) {
 		if !ok || !spanFields[key.Name] {
 			continue
 		}
-		pass.Reportf(kv.Pos(), "Event literal sets span field %s by hand; span records must come from Spanner.Start/Span.Child/Span.End, and point events attach via Span.Attach", key.Name)
+		pass.ReportRangef(kv, "Event literal sets span field %s by hand; span records must come from Spanner.Start/Span.Child/Span.End, and point events attach via Span.Attach", key.Name)
 	}
 }
 
@@ -126,6 +126,6 @@ func checkSpanAssign(pass *analysis.Pass, as *ast.AssignStmt) {
 		if !ok || !isObsEvent(tv.Type) {
 			continue
 		}
-		pass.Reportf(lhs.Pos(), "assignment to Event.%s bypasses the Spanner API; span records must come from Spanner.Start/Span.Child/Span.End, and point events attach via Span.Attach", sel.Sel.Name)
+		pass.ReportRangef(lhs, "assignment to Event.%s bypasses the Spanner API; span records must come from Spanner.Start/Span.Child/Span.End, and point events attach via Span.Attach", sel.Sel.Name)
 	}
 }

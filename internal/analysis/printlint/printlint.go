@@ -56,7 +56,7 @@ func run(pass *analysis.Pass) error {
 			switch fun := ast.Unparen(call.Fun).(type) {
 			case *ast.Ident:
 				if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok && (b.Name() == "print" || b.Name() == "println") {
-					pass.Reportf(call.Pos(), "builtin %s writes to stderr; library packages must stay silent", b.Name())
+					pass.ReportRangef(call, "builtin %s writes to stderr; library packages must stay silent", b.Name())
 				}
 			case *ast.SelectorExpr:
 				fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
@@ -66,11 +66,11 @@ func run(pass *analysis.Pass) error {
 				full := fn.FullName()
 				switch {
 				case fmtPrint[full]:
-					pass.Reportf(call.Pos(), "%s writes to stdout; library packages must return values or take an io.Writer", full)
+					pass.ReportRangef(call, "%s writes to stdout; library packages must return values or take an io.Writer", full)
 				case fmtFprint[full] && len(call.Args) > 0 && isProcessStream(pass, call.Args[0]):
-					pass.Reportf(call.Pos(), "%s to %s; library packages must not write to the process streams", full, types.ExprString(call.Args[0]))
+					pass.ReportRangef(call, "%s to %s; library packages must not write to the process streams", full, types.ExprString(call.Args[0]))
 				case fn.Pkg().Path() == "log" && isGlobalLogCall(fn):
-					pass.Reportf(call.Pos(), "%s uses the global logger (stderr); library packages must stay silent", full)
+					pass.ReportRangef(call, "%s uses the global logger (stderr); library packages must stay silent", full)
 				}
 			}
 			return true

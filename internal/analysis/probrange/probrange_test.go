@@ -1,0 +1,12 @@
+package probrange_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/probrange"
+)
+
+func TestProbRange(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), probrange.Analyzer, "lifefn")
+}

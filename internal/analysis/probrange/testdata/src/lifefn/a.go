@@ -1,0 +1,104 @@
+// Fixture for the probrange analyzer, named lifefn so the guarded
+// package gate applies.
+package lifefn
+
+import "math"
+
+// Mixture mirrors the simulator's weighted mixture of life functions.
+type Mixture struct {
+	W float64 //cs:unit probability
+}
+
+// blend is a probability-typed sink for argument checks.
+//
+//cs:unit p=probability
+func blend(p float64) float64 { return p }
+
+// True positive: the weighted sum of two probabilities reaches 1.5
+// when the weights do not sum to one.
+//
+//cs:unit p=probability q=probability return=probability
+func overWeighted(p, q float64) float64 {
+	return 0.7*p + 0.8*q // want `value in \[0, 1\.5\] returned as a probability`
+}
+
+// True positive: a constant outside the unit interval stored into
+// probability storage.
+func setWeight(m *Mixture) {
+	m.W = 1.5 // want `value in \[1\.5, 1\.5\] stored into probability-typed m\.W`
+}
+
+// True positive: shifting a probability before passing it to a
+// probability parameter.
+//
+//cs:unit x=probability
+func shifted(x float64) float64 {
+	return blend(x + 0.5) // want `value in \[0\.5, 1\.5\] passed as the probability argument of blend`
+}
+
+// True positive: an unclamped weighted accumulation widens to +inf —
+// the Mixture.P shape, where only sum-to-one weights keep it sound.
+//
+//cs:unit px=probability return=probability
+func mixAll(ms []Mixture, px float64) float64 {
+	s := 0.0
+	for _, m := range ms {
+		s += m.W * px
+	}
+	return s // want `value in \[0, \+inf\] returned as a probability`
+}
+
+// Non-finding: the complement of a probability stays in the interval.
+//
+//cs:unit p=probability return=probability
+func complement(p float64) float64 {
+	return 1 - p
+}
+
+// Non-finding: products of probabilities stay in the interval.
+//
+//cs:unit p=probability q=probability return=probability
+func both(p, q float64) float64 {
+	return p * q
+}
+
+// Non-finding: the standard clamp idiom bounds an unknown value.
+//
+//cs:unit return=probability
+func clamped(x float64) float64 {
+	return math.Max(0, math.Min(1, x))
+}
+
+// Non-finding: branch refinement proves the early-exit clamp.
+//
+//cs:unit return=probability
+func refined(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Non-finding: a fully unknown accumulation claims nothing, so the
+// analyzer stays silent instead of guessing.
+//
+//cs:unit return=probability
+func unknownSum(ws []float64) float64 {
+	s := 0.0
+	for _, w := range ws {
+		s += w
+	}
+	return s
+}
+
+// Non-finding (suppressed): intentional overshoot the caller folds
+// back into range.
+//
+//cs:unit p=probability return=probability
+func allowOver(p float64) float64 {
+	//lint:allow probrange overshoot folded back by the caller
+	return p + 1
+}

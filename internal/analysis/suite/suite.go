@@ -6,6 +6,7 @@ package suite
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/analysis/ctxguard"
 	"repro/internal/analysis/determinism"
 	"repro/internal/analysis/errsink"
 	"repro/internal/analysis/floatcmp"
@@ -13,13 +14,18 @@ import (
 	"repro/internal/analysis/nonnegwork"
 	"repro/internal/analysis/obssafe"
 	"repro/internal/analysis/printlint"
+	"repro/internal/analysis/probrange"
 	"repro/internal/analysis/rngshare"
+	"repro/internal/analysis/unitflow"
 )
 
-// All is the full cslint analyzer suite. The goroutinecap, nonnegwork
-// and rngshare analyzers share one interprocedural flow build per
-// package (internal/analysis/flow).
+// All is the full cslint analyzer suite. The ctxguard, goroutinecap,
+// nonnegwork and rngshare analyzers share one interprocedural flow
+// build per package (internal/analysis/flow); unitflow and probrange
+// share one dimension build (internal/analysis/dim) on top of the
+// cfg+dataflow abstract-interpretation engine.
 var All = []*analysis.Analyzer{
+	ctxguard.Analyzer,
 	determinism.Analyzer,
 	errsink.Analyzer,
 	floatcmp.Analyzer,
@@ -27,5 +33,7 @@ var All = []*analysis.Analyzer{
 	nonnegwork.Analyzer,
 	obssafe.Analyzer,
 	printlint.Analyzer,
+	probrange.Analyzer,
 	rngshare.Analyzer,
+	unitflow.Analyzer,
 }

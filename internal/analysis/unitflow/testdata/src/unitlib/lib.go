@@ -1,0 +1,14 @@
+// Package unitlib is a fixture dependency: it declares dimensions the
+// analyzer does not check here (the package is not a guarded model
+// package) but exports as facts, so guarded importers see them.
+package unitlib
+
+// Elapsed returns wall-clock progress.
+//
+//cs:unit return=time
+func Elapsed() float64 { return 12.5 }
+
+// Clock carries an annotated field for cross-package field lookups.
+type Clock struct {
+	Start float64 //cs:unit time
+}

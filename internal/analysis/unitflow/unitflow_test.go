@@ -1,0 +1,12 @@
+package unitflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/unitflow"
+)
+
+func TestUnitFlow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), unitflow.Analyzer, "unitlib", "sched")
+}

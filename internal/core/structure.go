@@ -124,5 +124,6 @@ func Residual36(s sched.Schedule, l lifefn.Life, c float64) float64 {
 			worst = r
 		}
 	}
+	//lint:allow probrange a residual of probabilities carries the probability dimension but is a diagnostic magnitude, not itself a probability
 	return worst
 }

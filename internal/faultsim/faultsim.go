@@ -30,15 +30,15 @@ import (
 // Config describes a fault-prone run.
 type Config struct {
 	// TotalWork is the job size in work units.
-	TotalWork float64
+	TotalWork float64 //cs:unit work
 	// SaveCost is the checkpoint cost c, paid at the end of every
 	// committed chunk.
-	SaveCost float64
+	SaveCost float64 //cs:unit time
 	// Failure is the survival function of each inter-failure interval
 	// (renewed after every failure).
 	Failure lifefn.Life
 	// RebootCost is wall time lost to each failure before work resumes.
-	RebootCost float64
+	RebootCost float64 //cs:unit time
 	// PolicyFactory builds the save-interval policy for each
 	// inter-failure interval; chunk lengths include the save cost,
 	// mirroring period semantics.
@@ -50,13 +50,13 @@ type Config struct {
 // Result is the outcome of one fault-prone run.
 type Result struct {
 	// Makespan is the wall time to commit TotalWork.
-	Makespan float64
+	Makespan float64 //cs:unit time
 	// Failures is the number of failures survived.
 	Failures int
 	// LostWork is the total work destroyed by failures.
-	LostWork float64
+	LostWork float64 //cs:unit work
 	// SaveTime is the total time spent writing checkpoints.
-	SaveTime float64
+	SaveTime float64 //cs:unit time
 	// Completed reports whether the job finished within MaxIntervals.
 	Completed bool
 }
@@ -109,7 +109,7 @@ func Run(cfg Config, src *rng.Source) (Result, error) {
 			// Do not overshoot the job: the final chunk shrinks to the
 			// remaining work plus its save.
 			if sched.PositiveSub(t, cfg.SaveCost) > remaining {
-				t = remaining + cfg.SaveCost
+				t = sched.TimeFor(remaining, cfg.SaveCost)
 			}
 			if elapsed+t < failAt {
 				elapsed += t

@@ -17,12 +17,14 @@ import (
 // preserved, since conditioning shifts and positively rescales P.
 type Conditional struct {
 	Base Life
-	Tau  float64
-	pTau float64
+	Tau  float64 //cs:unit time
+	pTau float64 //cs:unit probability
 }
 
 // NewConditional returns base conditioned on survival to tau.
 // It fails if the conditioning event has zero probability.
+//
+//cs:unit tau=time
 func NewConditional(base Life, tau float64) (*Conditional, error) {
 	if tau < 0 {
 		return nil, fmt.Errorf("lifefn: negative conditioning time %g", tau)
@@ -35,14 +37,18 @@ func NewConditional(base Life, tau float64) (*Conditional, error) {
 }
 
 // P implements Life.
+//
+//cs:unit t=time return=probability
 func (c *Conditional) P(t float64) float64 {
 	if t <= 0 {
 		return 1
 	}
-	return c.Base.P(c.Tau+t) / c.pTau
+	return c.Base.P(c.Tau+t) / c.pTau //lint:allow unitflow a ratio of like probabilities is the conditional probability
 }
 
 // Deriv implements Life.
+//
+//cs:unit t=time return=rate
 func (c *Conditional) Deriv(t float64) float64 {
 	if t < 0 {
 		return 0
@@ -54,6 +60,8 @@ func (c *Conditional) Deriv(t float64) float64 {
 func (c *Conditional) Shape() Shape { return c.Base.Shape() }
 
 // Horizon implements Life.
+//
+//cs:unit return=time
 func (c *Conditional) Horizon() float64 {
 	h := c.Base.Horizon()
 	if math.IsInf(h, 1) {

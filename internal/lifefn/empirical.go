@@ -20,7 +20,7 @@ var ErrBadSamples = errors.New("lifefn: invalid survival samples")
 type Empirical struct {
 	interp  *numeric.PCHIP
 	shape   Shape
-	horizon float64
+	horizon float64 //cs:unit time
 	name    string
 }
 
@@ -29,6 +29,8 @@ type Empirical struct {
 // sample's survival is (near) zero the horizon is the last abscissa;
 // otherwise the horizon is unbounded and P decays exponentially beyond
 // the last sample, matching its terminal hazard rate.
+//
+//cs:unit ts=time ps=probability
 func NewEmpirical(ts, ps []float64) (*Empirical, error) {
 	if len(ts) < 3 || len(ts) != len(ps) {
 		return nil, fmt.Errorf("%w: need >= 3 matched samples, got %d/%d", ErrBadSamples, len(ts), len(ps))
@@ -63,6 +65,8 @@ func NewEmpirical(ts, ps []float64) (*Empirical, error) {
 }
 
 // P implements Life.
+//
+//cs:unit t=time return=probability
 func (e *Empirical) P(t float64) float64 {
 	if t <= 0 {
 		return 1
@@ -73,6 +77,12 @@ func (e *Empirical) P(t float64) float64 {
 		if v < 0 {
 			return 0
 		}
+		// ps[0] may sit a hair above 1 (NewEmpirical allows 1e-9 slack)
+		// and the interpolant passes through the samples, so clamp the
+		// top end too: a survival probability must not exceed 1.
+		if v > 1 {
+			return 1
+		}
 		return v
 	}
 	if !math.IsInf(e.horizon, 1) {
@@ -82,6 +92,8 @@ func (e *Empirical) P(t float64) float64 {
 }
 
 // Deriv implements Life.
+//
+//cs:unit t=time return=rate
 func (e *Empirical) Deriv(t float64) float64 {
 	if t < 0 {
 		return 0
@@ -99,10 +111,13 @@ func (e *Empirical) Deriv(t float64) float64 {
 // tailP extends the curve past the last sample with exponential decay at
 // the terminal hazard rate, so an unbounded empirical life function
 // still tends to zero.
+//
+//cs:unit t=time hi=time return=probability
 func (e *Empirical) tailP(t, hi float64) float64 {
 	return e.interp.At(hi) * math.Exp(-e.tailRate(hi)*(t-hi))
 }
 
+//cs:unit hi=time return=rate
 func (e *Empirical) tailRate(hi float64) float64 {
 	p := e.interp.At(hi)
 	d := e.interp.DerivAt(hi)
@@ -116,6 +131,8 @@ func (e *Empirical) tailRate(hi float64) float64 {
 func (e *Empirical) Shape() Shape { return e.shape }
 
 // Horizon implements Life.
+//
+//cs:unit return=time
 func (e *Empirical) Horizon() float64 { return e.horizon }
 
 // String implements Life.
@@ -126,6 +143,8 @@ func (e *Empirical) String() string { return e.name }
 // Convex if it never decreases, Linear if both, Unknown otherwise.
 // Comparisons use a small relative slack so that floating-point ripple
 // on a straight line is still classified Linear.
+//
+//cs:unit lo=time hi=time
 func DetectShape(l Life, lo, hi float64, n int) Shape {
 	if n < 2 {
 		n = 2

@@ -88,6 +88,28 @@ func TestEmpiricalDerivNonPositive(t *testing.T) {
 	}
 }
 
+// TestEmpiricalPNeverExceedsOne pins the upper clamp in Empirical.P:
+// NewEmpirical accepts ps[0] within 1e-9 of 1 and the PCHIP interpolant
+// passes through the samples, so without the clamp P just above t=0
+// reproduced a ps[0] slightly greater than one.
+func TestEmpiricalPNeverExceedsOne(t *testing.T) {
+	ts := []float64{0, 1, 2}
+	ps := []float64{1 + 9e-10, 0.5, 0}
+	e, err := NewEmpirical(ts, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= 1000; i++ {
+		x := 2 * float64(i) / 1000
+		if p := e.P(x); p > 1 || p < 0 {
+			t.Fatalf("P(%g) = %.20g, escapes [0, 1]", x, p)
+		}
+	}
+	if p := e.P(1e-12); p > 1 {
+		t.Errorf("P(1e-12) = %.20g, want <= 1", p)
+	}
+}
+
 func TestEmpiricalRejectsBadSamples(t *testing.T) {
 	cases := []struct {
 		name   string

@@ -13,6 +13,8 @@ import (
 // terms — constant for a^{-t} (memoryless), rising to infinity at L for
 // the bounded families, falling for heavy tails (which is exactly the
 // regime where optimal schedules stop existing; see core.AdmitsOptimal).
+//
+//cs:unit t=time return=rate
 func HazardRate(l Life, t float64) float64 {
 	p := l.P(t)
 	if p <= 0 {
@@ -24,6 +26,8 @@ func HazardRate(l Life, t float64) float64 {
 // CumulativeHazard returns Λ(t) = ∫₀ᵗ h(τ) dτ by adaptive quadrature.
 // For any valid life function, p(t) = exp(-Λ(t)) — an identity the
 // property tests exercise across every built-in family.
+//
+//cs:unit t=time
 func CumulativeHazard(l Life, t float64) (float64, error) {
 	if t <= 0 {
 		return 0, nil

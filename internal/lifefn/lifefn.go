@@ -64,13 +64,19 @@ func (s Shape) IsConvex() bool { return s == Convex || s == Linear }
 type Life interface {
 	// P returns the probability that the workstation is still available
 	// at time t.
+	//
+	//cs:unit t=time return=probability
 	P(t float64) float64
 	// Deriv returns dP/dt at time t.
+	//
+	//cs:unit t=time return=rate
 	Deriv(t float64) float64
 	// Shape classifies the curvature of P.
 	Shape() Shape
 	// Horizon returns the potential lifespan L when the episode has a
 	// known upper bound, or math.Inf(1) when it does not.
+	//
+	//cs:unit return=time
 	Horizon() float64
 	// String names the life function with its parameters.
 	String() string
@@ -80,10 +86,12 @@ type Life interface {
 // the risk of reclamation is constant across the potential lifespan L.
 // It is both concave and convex.
 type Uniform struct {
-	L float64 // potential lifespan, > 0
+	L float64 //cs:unit time
 }
 
 // NewUniform returns the uniform-risk life function with lifespan L.
+//
+//cs:unit l=time
 func NewUniform(l float64) (Uniform, error) {
 	if !(l > 0) || math.IsInf(l, 0) {
 		return Uniform{}, fmt.Errorf("lifefn: uniform lifespan must be positive and finite, got %g", l)
@@ -92,6 +100,8 @@ func NewUniform(l float64) (Uniform, error) {
 }
 
 // P implements Life.
+//
+//cs:unit t=time return=probability
 func (u Uniform) P(t float64) float64 {
 	if t <= 0 {
 		return 1
@@ -99,10 +109,12 @@ func (u Uniform) P(t float64) float64 {
 	if t >= u.L {
 		return 0
 	}
-	return 1 - t/u.L
+	return 1 - t/u.L //lint:allow unitflow the complementary elapsed fraction of L is the uniform survival probability
 }
 
 // Deriv implements Life.
+//
+//cs:unit t=time return=rate
 func (u Uniform) Deriv(t float64) float64 {
 	if t < 0 || t > u.L {
 		return 0
@@ -114,6 +126,8 @@ func (u Uniform) Deriv(t float64) float64 {
 func (u Uniform) Shape() Shape { return Linear }
 
 // Horizon implements Life.
+//
+//cs:unit return=time
 func (u Uniform) Horizon() float64 { return u.L }
 
 // String implements Life.
@@ -124,7 +138,7 @@ func (u Uniform) String() string { return fmt.Sprintf("uniform(L=%g)", u.L) }
 // near the end of the lifespan.
 type Poly struct {
 	D int     // exponent, >= 1
-	L float64 // potential lifespan, > 0
+	L float64 //cs:unit time
 }
 
 // NewPoly returns the polynomial life function p_{d,L}.
@@ -170,6 +184,8 @@ func (p Poly) Shape() Shape {
 }
 
 // Horizon implements Life.
+//
+//cs:unit return=time
 func (p Poly) Horizon() float64 { return p.L }
 
 // String implements Life.
@@ -227,7 +243,7 @@ func (g GeomDecreasing) String() string { return fmt.Sprintf("geomdec(a=%g)", g.
 // The implementation evaluates (1 - 2^{t-L}) / (1 - 2^{-L}) to stay
 // finite for large L.
 type GeomIncreasing struct {
-	L float64 // potential lifespan, > 0
+	L float64 //cs:unit time
 }
 
 // NewGeomIncreasing returns the doubling-risk life function with
@@ -265,6 +281,8 @@ func (g GeomIncreasing) Deriv(t float64) float64 {
 func (g GeomIncreasing) Shape() Shape { return Concave }
 
 // Horizon implements Life.
+//
+//cs:unit return=time
 func (g GeomIncreasing) Horizon() float64 { return g.L }
 
 // String implements Life.
@@ -317,7 +335,7 @@ func (p PowerLaw) String() string { return fmt.Sprintf("powerlaw(d=%g)", p.D) }
 // the package's stock example of a merely differentiable life function.
 type Weibull struct {
 	K     float64 // shape, > 0
-	Scale float64 // scale, > 0
+	Scale float64 //cs:unit time
 }
 
 // NewWeibull returns the Weibull survival life function.
@@ -374,7 +392,7 @@ type Func struct {
 	PFunc     func(float64) float64
 	DerivFunc func(float64) float64
 	Curvature Shape
-	Lifespan  float64 // horizon; use math.Inf(1) for unbounded
+	Lifespan  float64 //cs:unit time
 	Name      string
 }
 
@@ -388,6 +406,8 @@ func (f Func) Deriv(t float64) float64 { return f.DerivFunc(t) }
 func (f Func) Shape() Shape { return f.Curvature }
 
 // Horizon implements Life.
+//
+//cs:unit return=time
 func (f Func) Horizon() float64 { return f.Lifespan }
 
 // String implements Life.

@@ -16,9 +16,9 @@ import (
 // nondecreasing), and likewise for concave.
 type Mixture struct {
 	components []Life
-	weights    []float64
+	weights    []float64 //cs:unit probability
 	shape      Shape
-	horizon    float64
+	horizon    float64 //cs:unit time
 	name       string
 }
 
@@ -79,6 +79,8 @@ func NewMixture(components []Life, weights []float64) (*Mixture, error) {
 }
 
 // P implements Life.
+//
+//cs:unit t=time return=probability
 func (m *Mixture) P(t float64) float64 {
 	if t <= 0 {
 		return 1
@@ -87,10 +89,18 @@ func (m *Mixture) P(t float64) float64 {
 	for i, c := range m.components {
 		sum += m.weights[i] * c.P(t)
 	}
+	// The normalized weights sum to one and every component P is at
+	// most one, but the two rounding steps can leave the accumulated
+	// sum a few ulps above; a survival probability must not exceed 1.
+	if sum > 1 {
+		sum = 1
+	}
 	return sum
 }
 
 // Deriv implements Life.
+//
+//cs:unit t=time return=rate
 func (m *Mixture) Deriv(t float64) float64 {
 	if t < 0 {
 		return 0
@@ -106,10 +116,14 @@ func (m *Mixture) Deriv(t float64) float64 {
 func (m *Mixture) Shape() Shape { return m.shape }
 
 // Horizon implements Life.
+//
+//cs:unit return=time
 func (m *Mixture) Horizon() float64 { return m.horizon }
 
 // String implements Life.
 func (m *Mixture) String() string { return m.name }
 
 // Weights returns a copy of the normalized mixture weights.
+//
+//cs:unit return=probability
 func (m *Mixture) Weights() []float64 { return append([]float64(nil), m.weights...) }

@@ -79,6 +79,48 @@ func TestMixtureDerivConsistent(t *testing.T) {
 	}
 }
 
+// TestMixturePNeverExceedsOne pins the clamp in Mixture.P: normalizing
+// the weights and then re-summing them each round once let float ripple
+// push the weighted sum of all-surviving components a few ulps above 1.
+// Six equal weights of 0.1 reproduce that: Σ (0.1/0.6) = 1 + 2e-16
+// under left-to-right accumulation.
+func TestMixturePNeverExceedsOne(t *testing.T) {
+	plateau := Func{
+		PFunc: func(tt float64) float64 {
+			if tt <= 1 {
+				return 1
+			}
+			if tt >= 2 {
+				return 0
+			}
+			return 2 - tt
+		},
+		DerivFunc: func(tt float64) float64 {
+			if tt < 1 || tt > 2 {
+				return 0
+			}
+			return -1
+		},
+		Lifespan: 2,
+		Name:     "plateau",
+	}
+	components := make([]Life, 6)
+	weights := make([]float64, 6)
+	for i := range components {
+		components[i] = plateau
+		weights[i] = 0.1
+	}
+	m, err := NewMixture(components, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{1e-12, 0.25, 0.5, 0.999, 1, 1.5, 2, 3} {
+		if p := m.P(tt); p > 1 || p < 0 {
+			t.Errorf("P(%g) = %.20g, escapes [0, 1]", tt, p)
+		}
+	}
+}
+
 func TestMixtureRejectsBadInput(t *testing.T) {
 	u, _ := NewUniform(10)
 	if _, err := NewMixture(nil, nil); err == nil {

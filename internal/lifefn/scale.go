@@ -15,7 +15,7 @@ import (
 // scales the optimal periods by k and the expected work by k.
 type Scaled struct {
 	Base Life
-	K    float64
+	K    float64 //cs:unit dimensionless
 }
 
 // NewScaled returns base with its time axis stretched by factor k.
@@ -30,15 +30,21 @@ func NewScaled(base Life, k float64) (*Scaled, error) {
 }
 
 // P implements Life.
+//
+//cs:unit t=time return=probability
 func (s *Scaled) P(t float64) float64 { return s.Base.P(t / s.K) }
 
 // Deriv implements Life.
+//
+//cs:unit t=time return=rate
 func (s *Scaled) Deriv(t float64) float64 { return s.Base.Deriv(t/s.K) / s.K }
 
 // Shape implements Life: rescaling time preserves curvature sign.
 func (s *Scaled) Shape() Shape { return s.Base.Shape() }
 
 // Horizon implements Life.
+//
+//cs:unit return=time
 func (s *Scaled) Horizon() float64 {
 	h := s.Base.Horizon()
 	if math.IsInf(h, 1) {

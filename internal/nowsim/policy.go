@@ -15,6 +15,7 @@ import (
 // Policies are stateful and single-episode; Reset is called between
 // episodes so one value can be reused across Monte-Carlo replications.
 type Policy interface {
+	//cs:unit elapsed=time return=time
 	NextPeriod(elapsed float64) (t float64, ok bool)
 	Reset()
 	String() string

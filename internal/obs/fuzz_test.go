@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTraceparent asserts ParseTraceparent never panics, rejects
+// everything the W3C grammar forbids, and round-trips everything it
+// accepts: re-rendering the parsed context with Traceparent and parsing
+// again must reproduce the identical TraceContext.
+func FuzzParseTraceparent(f *testing.F) {
+	for _, seed := range []string{
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-00",
+		// Future version with a trailing field: accepted and ignored.
+		"01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra",
+		// Forbidden version.
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+		// All-zero IDs are invalid.
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01",
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",
+		// Uppercase hex is forbidden by the spec.
+		"00-0AF7651916CD43DD8448EB211C80319C-B7AD6B7169203331-01",
+		// Structural damage: short, wrong separators, trailing junk.
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b716920333",
+		"00_0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01x",
+		"",
+		"garbage",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		tc, err := ParseTraceparent(s)
+		if err != nil {
+			return
+		}
+		if !tc.Valid() {
+			t.Fatalf("ParseTraceparent(%q) accepted an invalid context %+v", s, tc)
+		}
+		// Whatever was accepted must survive a render/parse round trip
+		// bit-for-bit (the render is always version 00).
+		hdr := tc.Traceparent()
+		back, err := ParseTraceparent(hdr)
+		if err != nil {
+			t.Fatalf("re-rendered header %q from %q does not parse: %v", hdr, s, err)
+		}
+		if back != tc {
+			t.Fatalf("round trip changed context: %+v -> %+v (via %q)", tc, back, hdr)
+		}
+		// The rendered form is canonical version-00: fixed length,
+		// lowercase, with the sampled bit alone in the flags.
+		if len(hdr) != 55 || hdr != strings.ToLower(hdr) {
+			t.Fatalf("Traceparent() = %q, not a canonical version-00 header", hdr)
+		}
+	})
+}

@@ -33,11 +33,13 @@ var ErrInvalidSchedule = errors.New("sched: invalid schedule")
 // contribution to expected work is negligible; the planners in
 // internal/core and internal/optimal choose that prefix length.
 type Schedule struct {
-	periods []float64
+	periods []float64 //cs:unit time
 }
 
 // New returns a schedule with the given period lengths. Every period
 // must be positive and finite.
+//
+//cs:unit periods=time
 func New(periods ...float64) (Schedule, error) {
 	for i, t := range periods {
 		if !(t > 0) || math.IsInf(t, 0) || math.IsNaN(t) {
@@ -49,6 +51,8 @@ func New(periods ...float64) (Schedule, error) {
 
 // MustNew is New but panics on invalid input; for literals in tests and
 // examples.
+//
+//cs:unit periods=time
 func MustNew(periods ...float64) Schedule {
 	s, err := New(periods...)
 	if err != nil {
@@ -61,12 +65,18 @@ func MustNew(periods ...float64) Schedule {
 func (s Schedule) Len() int { return len(s.periods) }
 
 // Period returns t_k.
+//
+//cs:unit return=time
 func (s Schedule) Period(k int) float64 { return s.periods[k] }
 
 // Periods returns a copy of the period lengths.
+//
+//cs:unit return=time
 func (s Schedule) Periods() []float64 { return append([]float64(nil), s.periods...) }
 
 // Boundary returns T_k = t_0 + ... + t_k, the end time of period k.
+//
+//cs:unit return=time
 func (s Schedule) Boundary(k int) float64 {
 	var sum numeric.KahanSum
 	for i := 0; i <= k; i++ {
@@ -76,6 +86,8 @@ func (s Schedule) Boundary(k int) float64 {
 }
 
 // Boundaries returns all period end times T_0, ..., T_{m-1}.
+//
+//cs:unit return=time
 func (s Schedule) Boundaries() []float64 {
 	out := make([]float64, len(s.periods))
 	var sum numeric.KahanSum
@@ -87,6 +99,8 @@ func (s Schedule) Boundaries() []float64 {
 }
 
 // Total returns the schedule's overall duration T_{m-1} (0 when empty).
+//
+//cs:unit return=time
 func (s Schedule) Total() float64 {
 	var sum numeric.KahanSum
 	for _, t := range s.periods {
@@ -109,17 +123,35 @@ func (s Schedule) String() string {
 	return b.String()
 }
 
-// PositiveSub is the paper's ⊖ operator: max(0, x-y).
+// PositiveSub is the paper's ⊖ operator: max(0, x-y). This is the one
+// blessed site where a difference of times becomes work, so the
+// conversion below carries an explicit unitflow suppression.
+//
+//cs:unit x=time y=time return=work
 func PositiveSub(x, y float64) float64 {
 	if d := x - y; d > 0 {
-		return d
+		return d //lint:allow unitflow x ⊖ y is the sanctioned time→work conversion
 	}
 	return 0
+}
+
+// TimeFor returns the period length that commits w units of work under
+// per-period overhead c: the inverse of the ⊖ operator on productive
+// periods, PositiveSub(TimeFor(w, c), c) == w for w > 0. It is the
+// model's unit-work-rate assumption made explicit — a period of wall
+// length t computes for t-c of it — and the sanctioned work→time
+// conversion, mirroring PositiveSub in the other direction.
+//
+//cs:unit w=work c=time return=time
+func TimeFor(w, c float64) float64 {
+	return w + c //lint:allow unitflow committed work re-enters the clock one-for-one under the unit work rate
 }
 
 // ExpectedWork evaluates E(S; p) = Σ_i (t_i ⊖ c) p(T_i), equation (2.1):
 // the expected committed work of schedule s under life function l with
 // per-period communication overhead c. It panics if c is negative.
+//
+//cs:unit c=time return=work
 func ExpectedWork(s Schedule, l lifefn.Life, c float64) float64 {
 	if c < 0 {
 		panic(fmt.Sprintf("sched: negative overhead c=%g", c))
@@ -142,6 +174,8 @@ func ExpectedWork(s Schedule, l lifefn.Life, c float64) float64 {
 // the reclaim instant is lost). The discrete-event simulator and the
 // analytic E(S; p) meet through this function: E[RealizedWork(s, c, R)]
 // with P(R > t) = p(t) equals ExpectedWork(s, l, c).
+//
+//cs:unit c=time r=time return=work
 func RealizedWork(s Schedule, c, r float64) float64 {
 	var w numeric.KahanSum
 	var elapsed numeric.KahanSum
@@ -166,6 +200,8 @@ func RealizedWork(s Schedule, c, r float64) float64 {
 // checks the consecutive-difference form (3.6)). Periods at or below c
 // contribute their boundary-shift terms but no direct work term,
 // matching the one-sided derivative of the ⊖ operator from above.
+//
+//cs:unit c=time
 func Gradient(s Schedule, l lifefn.Life, c float64) []float64 {
 	m := s.Len()
 	grad := make([]float64, m)
@@ -186,8 +222,8 @@ func Gradient(s Schedule, l lifefn.Life, c float64) []float64 {
 // ProfileStep is one step of a schedule's realized-work profile: for
 // reclaim times r with From < r <= Until, exactly Work units commit.
 type ProfileStep struct {
-	From, Until float64
-	Work        float64
+	From, Until float64 //cs:unit time
+	Work        float64 //cs:unit work
 }
 
 // WorkProfile returns the schedule's realized work as a step function
@@ -195,6 +231,8 @@ type ProfileStep struct {
 // containing r. The last step has Until = +Inf (the owner never
 // returned). The profile is what worst-case and competitive analyses
 // consume wholesale.
+//
+//cs:unit c=time
 func WorkProfile(s Schedule, c float64) []ProfileStep {
 	steps := make([]ProfileStep, 0, s.Len()+1)
 	var elapsed numeric.KahanSum
@@ -220,18 +258,24 @@ func WorkProfile(s Schedule, c float64) []ProfileStep {
 // where m = s.Len(). The returned slice has m+1 elements summing to 1.
 // It powers the distribution-level (chi-square) validation of the
 // discrete-event simulator, beyond the mean identity E(S;p).
+//
+//cs:unit return=probability
 func CommitProbabilities(s Schedule, l lifefn.Life) []float64 {
 	m := s.Len()
-	probs := make([]float64, m+1)
+	probs := make([]float64, m+1) //cs:unit probability
 	prev := 1.0
 	var elapsed numeric.KahanSum
 	for k := 0; k < m; k++ {
 		elapsed.Add(s.periods[k])
 		cur := l.P(elapsed.Value())
-		probs[k] = prev - cur
-		if probs[k] < 0 {
-			probs[k] = 0
+		// Clamp before storing: a non-monotone (numerically noisy) life
+		// function may give p(T_k) > p(T_{k-1}), and the stored mass
+		// must already be a probability.
+		d := prev - cur
+		if d < 0 {
+			d = 0
 		}
+		probs[k] = d
 		prev = cur
 	}
 	probs[m] = prev
@@ -244,6 +288,8 @@ func CommitProbabilities(s Schedule, l lifefn.Life) []float64 {
 // merged into its successor — the merged period ends at the same instant
 // with a longer productive part, so no term of (2.1) decreases — and an
 // unproductive final period, which contributes nothing, is dropped.
+//
+//cs:unit c=time
 func Normalize(s Schedule, c float64) Schedule {
 	if c < 0 {
 		panic(fmt.Sprintf("sched: negative overhead c=%g", c))
@@ -266,6 +312,8 @@ func Normalize(s Schedule, c float64) Schedule {
 // Shift returns S^{⟨k,δ⟩}: the schedule with t_k replaced by t_k + delta
 // (negative delta shrinks the period). It fails if the adjusted period
 // would not be positive.
+//
+//cs:unit delta=time
 func (s Schedule) Shift(k int, delta float64) (Schedule, error) {
 	if k < 0 || k >= len(s.periods) {
 		return Schedule{}, fmt.Errorf("%w: shift index %d of %d", ErrInvalidSchedule, k, len(s.periods))
@@ -282,6 +330,8 @@ func (s Schedule) Shift(k int, delta float64) (Schedule, error) {
 // Perturb returns S^{[k,δ]}: t_k grows by delta while t_{k+1} shrinks by
 // delta (Section 5.1), preserving every boundary except T_k. It fails if
 // either adjusted period would not be positive.
+//
+//cs:unit delta=time
 func (s Schedule) Perturb(k int, delta float64) (Schedule, error) {
 	if k < 0 || k+1 >= len(s.periods) {
 		return Schedule{}, fmt.Errorf("%w: perturb index %d of %d", ErrInvalidSchedule, k, len(s.periods))
@@ -310,6 +360,8 @@ func (s Schedule) MergeFirst() (Schedule, error) {
 
 // SplitFirst returns the schedule tHat, t_0-tHat, t_1, ... used in the
 // proof of Lemma 3.1. tHat must lie strictly inside (0, t_0).
+//
+//cs:unit tHat=time
 func (s Schedule) SplitFirst(tHat float64) (Schedule, error) {
 	if len(s.periods) == 0 {
 		return Schedule{}, fmt.Errorf("%w: cannot split empty schedule", ErrInvalidSchedule)
@@ -335,6 +387,8 @@ func (s Schedule) Prefix(n int) Schedule {
 }
 
 // Append returns the schedule with extra periods appended.
+//
+//cs:unit periods=time
 func (s Schedule) Append(periods ...float64) (Schedule, error) {
 	p := append(s.Periods(), periods...)
 	return New(p...)

@@ -53,6 +53,54 @@ func TestPositiveSub(t *testing.T) {
 	}
 }
 
+func TestTimeForInvertsPositiveSub(t *testing.T) {
+	for _, tc := range []struct{ w, c float64 }{{2, 1}, {5, 0}, {0.25, 3.5}, {1e-9, 1e3}} {
+		period := TimeFor(tc.w, tc.c)
+		got := PositiveSub(period, tc.c)
+		// Exact in real arithmetic; in floats the round trip loses at
+		// most an ulp of the larger magnitude.
+		if math.Abs(got-tc.w) > 1e-12*(tc.w+tc.c) {
+			t.Errorf("PositiveSub(TimeFor(%g, %g), %g) = %g, want %g", tc.w, tc.c, tc.c, got, tc.w)
+		}
+	}
+}
+
+// TestCommitProbabilitiesClampNoisyLife pins the clamp-before-store in
+// CommitProbabilities: a numerically noisy life function can report
+// p(T_k) > p(T_{k-1}), and the per-period mass must still come out a
+// probability, never a small negative.
+func TestCommitProbabilitiesClampNoisyLife(t *testing.T) {
+	noisy := lifefn.Func{
+		PFunc: func(x float64) float64 {
+			if x <= 0 {
+				return 1
+			}
+			if x >= 10 {
+				return 0
+			}
+			// Non-monotone ripple on a linear decay.
+			return 1 - x/10 + 0.01*math.Sin(40*x)
+		},
+		DerivFunc: func(x float64) float64 {
+			if x < 0 || x > 10 {
+				return 0
+			}
+			return -1.0/10 + 0.4*math.Cos(40*x)
+		},
+		Lifespan: 10,
+	}
+	s := MustNew(0.05, 0.05, 0.05, 0.05, 0.1, 0.1, 0.2, 0.4)
+	probs := CommitProbabilities(s, noisy)
+	if len(probs) != s.Len()+1 {
+		t.Fatalf("len(probs) = %d, want %d", len(probs), s.Len()+1)
+	}
+	for k, p := range probs {
+		if p < 0 || p > 1 {
+			t.Errorf("probs[%d] = %g, escapes [0, 1]", k, p)
+		}
+	}
+}
+
 func TestExpectedWorkHandComputed(t *testing.T) {
 	// Uniform L=10, c=1, S = (4, 3):
 	// E = (4-1)·p(4) + (3-1)·p(7) = 3·0.6 + 2·0.3 = 2.4.

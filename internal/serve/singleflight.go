@@ -59,6 +59,7 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func(context.Contex
 	g.m[key] = c
 	g.mu.Unlock()
 	go func() {
+		//lint:allow ctxguard runCtx is group-owned, not the request's: the leader goroutine must outlive an impatient leader, and wait() cancels runCtx when the last waiter leaves
 		v, err := fn(runCtx)
 		g.mu.Lock()
 		c.val, c.err = v, err
