@@ -5,7 +5,7 @@ GO ?= go
 FUZZTIME ?= 10s
 LOAD_ADDR ?= http://localhost:8080
 
-.PHONY: all build test race vet lint lint-sarif lint-fix-check fmt-check ci bench bench-obs bench-perf fuzz-smoke serve-smoke loadtest
+.PHONY: all build test race vet lint lint-sarif lint-fix-check fmt-check ci bench bench-obs bench-perf bench-compare fuzz-smoke serve-smoke loadtest
 
 all: build
 
@@ -57,7 +57,7 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check vet lint lint-fix-check build race serve-smoke
+ci: fmt-check vet lint lint-fix-check build race serve-smoke bench-compare
 
 # Boot csserve and drive it with csload: cache speedup, coalescing,
 # 429 load shedding, metrics surface and graceful drain, asserted with
@@ -93,3 +93,12 @@ bench-obs:
 # plus the nil-obs overhead percentage the acceptance criterion bounds.
 bench-perf:
 	$(GO) run ./cmd/csbench -perf -perf-out $(CURDIR)/BENCH_perf.json
+
+# Perf-history regression gate: re-run the calibrated suite live and
+# diff it against the committed BENCH_perf.json under the per-benchmark
+# ns/op and allocs/op budgets (exit 1 on any breach; budgets and slack
+# are csbench -compare flags). The machine-readable diff lands in
+# bin/bench-compare.json. Refresh the committed history with
+# `make bench-perf` after a deliberate performance change.
+bench-compare:
+	$(GO) run ./cmd/csbench -compare $(CURDIR)/BENCH_perf.json -compare-out $(CURDIR)/bin/bench-compare.json

@@ -1,0 +1,200 @@
+package main
+
+// The -compare gate: diff a freshly measured (or pre-recorded) perf
+// report against a committed baseline and fail on budget breaches.
+// This is the perf-history regression gate: BENCH_perf.json in the
+// repo is the history, `csbench -compare BENCH_perf.json` is the
+// check, and the machine-readable diff (-compare-out) is the artifact
+// a CI run uploads so a breach is diagnosable without re-running.
+//
+// Budgets are ratios on the min-of-N statistics — min is the standard
+// noise-floor estimator for microbenchmarks, so ratios of mins compare
+// best-case against best-case and survive machine-to-machine noise far
+// better than medians. A small absolute slack shields near-zero
+// baselines (0.00 allocs/op, single-digit-ns ops) from infinite or
+// wildly amplified ratios.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// nsSlackNs is the absolute ns/op increase always tolerated on top of
+// the ratio budget: a 5 ns op drifting to 12 ns is timer noise, not a
+// regression worth failing CI over.
+const nsSlackNs = 25.0
+
+// perfDelta is one benchmark's baseline-vs-candidate comparison.
+type perfDelta struct {
+	Name          string  `json:"name"`
+	BaseNsMin     float64 `json:"base_ns_per_op_min"`
+	NewNsMin      float64 `json:"new_ns_per_op_min"`
+	NsRatio       float64 `json:"ns_ratio"`
+	BaseAllocsMin float64 `json:"base_allocs_per_op_min"`
+	NewAllocsMin  float64 `json:"new_allocs_per_op_min"`
+	AllocsRatio   float64 `json:"allocs_ratio"`
+	NsBreach      bool    `json:"ns_breach"`
+	AllocBreach   bool    `json:"alloc_breach"`
+	// Missing marks a benchmark present in the baseline but absent from
+	// the candidate — always a breach: silently dropping a benchmark is
+	// how a regression hides from its own gate.
+	Missing bool `json:"missing,omitempty"`
+}
+
+// perfComparison is the machine-readable diff -compare-out persists.
+type perfComparison struct {
+	Baseline    string      `json:"baseline"`
+	Candidate   string      `json:"candidate"`
+	GoVersion   string      `json:"go_version"`
+	NsBudget    float64     `json:"ns_budget"`
+	AllocBudget float64     `json:"alloc_budget"`
+	AllocSlack  float64     `json:"alloc_slack"`
+	Breaches    int         `json:"breaches"`
+	Regressed   bool        `json:"regressed"`
+	Deltas      []perfDelta `json:"deltas"`
+	// Added lists candidate benchmarks the baseline does not know —
+	// informational, never a breach (refresh the history to adopt them).
+	Added []string `json:"added,omitempty"`
+}
+
+func loadPerfReport(path string) (perfReport, error) {
+	var r perfReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Benchmarks) == 0 {
+		return r, fmt.Errorf("%s: no benchmarks in report", path)
+	}
+	return r, nil
+}
+
+// comparePerf diffs candidate against baseline under the budgets.
+func comparePerf(base, cand perfReport, baseName, candName string, nsBudget, allocBudget, allocSlack float64) perfComparison {
+	cmp := perfComparison{
+		Baseline:    baseName,
+		Candidate:   candName,
+		GoVersion:   cand.GoVersion,
+		NsBudget:    nsBudget,
+		AllocBudget: allocBudget,
+		AllocSlack:  allocSlack,
+	}
+	candByName := make(map[string]perfBenchResult, len(cand.Benchmarks))
+	for _, b := range cand.Benchmarks {
+		candByName[b.Name] = b
+	}
+	baseNames := make(map[string]bool, len(base.Benchmarks))
+	for _, bb := range base.Benchmarks {
+		baseNames[bb.Name] = true
+		d := perfDelta{
+			Name:          bb.Name,
+			BaseNsMin:     bb.NsPerOpMin,
+			BaseAllocsMin: bb.AllocsPerOpMin,
+		}
+		cb, ok := candByName[bb.Name]
+		if !ok {
+			d.Missing = true
+			cmp.Breaches++
+			cmp.Deltas = append(cmp.Deltas, d)
+			continue
+		}
+		d.NewNsMin = cb.NsPerOpMin
+		d.NewAllocsMin = cb.AllocsPerOpMin
+		if bb.NsPerOpMin > 0 {
+			d.NsRatio = cb.NsPerOpMin / bb.NsPerOpMin
+		}
+		if bb.AllocsPerOpMin > 0 {
+			d.AllocsRatio = cb.AllocsPerOpMin / bb.AllocsPerOpMin
+		}
+		if cb.NsPerOpMin > bb.NsPerOpMin*nsBudget+nsSlackNs {
+			d.NsBreach = true
+			cmp.Breaches++
+		}
+		if cb.AllocsPerOpMin > bb.AllocsPerOpMin*allocBudget+allocSlack {
+			d.AllocBreach = true
+			cmp.Breaches++
+		}
+		cmp.Deltas = append(cmp.Deltas, d)
+	}
+	for _, cb := range cand.Benchmarks {
+		if !baseNames[cb.Name] {
+			cmp.Added = append(cmp.Added, cb.Name)
+		}
+	}
+	sort.Strings(cmp.Added)
+	cmp.Regressed = cmp.Breaches > 0
+	return cmp
+}
+
+// runCompare is the -compare entry point. The candidate report comes
+// from -against when given (a pure file-vs-file diff, fully
+// deterministic — what the smoke test's negative case uses) or from a
+// fresh run of the suite. Exit codes: 0 within budget, 1 budget
+// breach, 2 bad input.
+func runCompare(basePath, againstPath string, runs int, outPath string, nsBudget, allocBudget, allocSlack float64, stdout, stderr io.Writer) int {
+	base, err := loadPerfReport(basePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "csbench: compare baseline:", err)
+		return 2
+	}
+	var cand perfReport
+	candName := againstPath
+	if againstPath != "" {
+		if cand, err = loadPerfReport(againstPath); err != nil {
+			fmt.Fprintln(stderr, "csbench: compare candidate:", err)
+			return 2
+		}
+	} else {
+		candName = "live"
+		var code int
+		if cand, code = collectPerf(runs, stdout, stderr); code != 0 {
+			return code
+		}
+	}
+
+	cmp := comparePerf(base, cand, basePath, candName, nsBudget, allocBudget, allocSlack)
+
+	fmt.Fprintf(stdout, "comparing %s (baseline) vs %s (candidate)\n", cmp.Baseline, cmp.Candidate)
+	for _, d := range cmp.Deltas {
+		switch {
+		case d.Missing:
+			fmt.Fprintf(stdout, "BREACH   %-24s missing from candidate\n", d.Name)
+		case d.NsBreach || d.AllocBreach:
+			fmt.Fprintf(stdout, "BREACH   %-24s ns/op %10.1f -> %10.1f (x%.2f, budget x%.2f)  allocs/op %6.2f -> %6.2f (budget x%.2f+%g)\n",
+				d.Name, d.BaseNsMin, d.NewNsMin, d.NsRatio, nsBudget,
+				d.BaseAllocsMin, d.NewAllocsMin, allocBudget, allocSlack)
+		default:
+			fmt.Fprintf(stdout, "ok       %-24s ns/op %10.1f -> %10.1f (x%.2f)  allocs/op %6.2f -> %6.2f\n",
+				d.Name, d.BaseNsMin, d.NewNsMin, d.NsRatio, d.BaseAllocsMin, d.NewAllocsMin)
+		}
+	}
+	for _, name := range cmp.Added {
+		fmt.Fprintf(stdout, "new      %-24s not in baseline (refresh the history to adopt)\n", name)
+	}
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(cmp, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "csbench:", err)
+			return 2
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, "csbench:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", outPath)
+	}
+
+	if cmp.Regressed {
+		fmt.Fprintf(stdout, "FAIL: %d budget breach(es)\n", cmp.Breaches)
+		return 1
+	}
+	fmt.Fprintf(stdout, "PASS: %d benchmark(s) within budget\n", len(cmp.Deltas))
+	return 0
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkReport(benches ...perfBenchResult) perfReport {
+	return perfReport{Suite: "test", GoVersion: "go0.0", Runs: 3, Benchmarks: benches}
+}
+
+func bench(name string, nsMin, allocsMin float64) perfBenchResult {
+	return perfBenchResult{
+		Name: name, NsPerOpMin: nsMin, NsPerOpMedian: nsMin * 1.1,
+		AllocsPerOpMin: allocsMin, AllocsPerOpMedian: allocsMin,
+	}
+}
+
+func TestComparePerfIdenticalPasses(t *testing.T) {
+	base := mkReport(bench("a", 1000, 4), bench("b", 50, 0))
+	cmp := comparePerf(base, base, "old", "new", 1.75, 1.15, 2)
+	if cmp.Regressed || cmp.Breaches != 0 {
+		t.Fatalf("identical reports regressed: %+v", cmp)
+	}
+	if len(cmp.Deltas) != 2 || cmp.Deltas[0].NsRatio != 1 {
+		t.Errorf("deltas = %+v", cmp.Deltas)
+	}
+}
+
+func TestComparePerfNsBreach(t *testing.T) {
+	base := mkReport(bench("a", 1000, 4))
+	cand := mkReport(bench("a", 2000, 4)) // x2 > x1.75 budget (+25ns slack)
+	cmp := comparePerf(base, cand, "old", "new", 1.75, 1.15, 2)
+	if !cmp.Regressed || cmp.Breaches != 1 || !cmp.Deltas[0].NsBreach {
+		t.Fatalf("2x ns regression not flagged: %+v", cmp)
+	}
+	// Within budget: x1.5 passes.
+	ok := comparePerf(base, mkReport(bench("a", 1500, 4)), "old", "new", 1.75, 1.15, 2)
+	if ok.Regressed {
+		t.Fatalf("1.5x flagged under a 1.75x budget: %+v", ok)
+	}
+}
+
+func TestComparePerfNsSlackShieldsTinyOps(t *testing.T) {
+	// 5ns -> 20ns is x4 but inside the +25ns absolute slack.
+	base := mkReport(bench("tiny", 5, 0))
+	cmp := comparePerf(base, mkReport(bench("tiny", 20, 0)), "old", "new", 1.75, 1.15, 2)
+	if cmp.Regressed {
+		t.Fatalf("timer-noise drift on a tiny op flagged: %+v", cmp)
+	}
+}
+
+func TestComparePerfAllocBreachAndSlack(t *testing.T) {
+	base := mkReport(bench("a", 1000, 0), bench("b", 1000, 100))
+	// 0 -> 2 allocs: within the absolute slack of 2.
+	ok := comparePerf(base, mkReport(bench("a", 1000, 2), bench("b", 1000, 100)), "o", "n", 1.75, 1.15, 2)
+	if ok.Regressed {
+		t.Fatalf("zero-baseline alloc drift inside slack flagged: %+v", ok)
+	}
+	// 100 -> 120: x1.2 > x1.15 budget + 2 slack (threshold 117).
+	bad := comparePerf(base, mkReport(bench("a", 1000, 0), bench("b", 1000, 120)), "o", "n", 1.75, 1.15, 2)
+	if !bad.Regressed || !bad.Deltas[1].AllocBreach {
+		t.Fatalf("20%% alloc regression not flagged: %+v", bad)
+	}
+}
+
+func TestComparePerfMissingIsBreachAddedIsNot(t *testing.T) {
+	base := mkReport(bench("kept", 100, 1), bench("dropped", 100, 1))
+	cand := mkReport(bench("kept", 100, 1), bench("brandnew", 100, 1))
+	cmp := comparePerf(base, cand, "o", "n", 1.75, 1.15, 2)
+	if !cmp.Regressed || cmp.Breaches != 1 {
+		t.Fatalf("dropped benchmark not a breach: %+v", cmp)
+	}
+	var missing *perfDelta
+	for i := range cmp.Deltas {
+		if cmp.Deltas[i].Name == "dropped" {
+			missing = &cmp.Deltas[i]
+		}
+	}
+	if missing == nil || !missing.Missing {
+		t.Fatalf("missing delta not marked: %+v", cmp.Deltas)
+	}
+	if len(cmp.Added) != 1 || cmp.Added[0] != "brandnew" {
+		t.Errorf("added = %v", cmp.Added)
+	}
+}
+
+func writeReport(t *testing.T, dir, name string, r perfReport) string {
+	t.Helper()
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// The -against file-vs-file path: deterministic exit codes 0/1/2 and a
+// machine-readable diff artifact.
+func TestRunCompareFileVsFile(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", mkReport(bench("a", 1000, 4)))
+	same := writeReport(t, dir, "same.json", mkReport(bench("a", 1000, 4)))
+	regressed := writeReport(t, dir, "bad.json", mkReport(bench("a", 9000, 4)))
+	outPath := filepath.Join(dir, "diff.json")
+
+	var stdout, stderr bytes.Buffer
+	if code := runCompare(base, same, 1, outPath, 1.75, 1.15, 2, &stdout, &stderr); code != 0 {
+		t.Fatalf("identical compare exit = %d; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "PASS") {
+		t.Errorf("stdout missing PASS: %s", stdout.String())
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatalf("diff artifact not written: %v", err)
+	}
+	var cmp perfComparison
+	if err := json.Unmarshal(data, &cmp); err != nil {
+		t.Fatalf("diff artifact not JSON: %v", err)
+	}
+	if cmp.Regressed || len(cmp.Deltas) != 1 {
+		t.Errorf("diff artifact = %+v", cmp)
+	}
+
+	stdout.Reset()
+	if code := runCompare(base, regressed, 1, outPath, 1.75, 1.15, 2, &stdout, &stderr); code != 1 {
+		t.Fatalf("regressed compare exit = %d, want 1", code)
+	}
+	if !strings.Contains(stdout.String(), "BREACH") || !strings.Contains(stdout.String(), "FAIL") {
+		t.Errorf("stdout missing breach report: %s", stdout.String())
+	}
+	data, err = os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &cmp); err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Regressed || cmp.Breaches != 1 {
+		t.Errorf("regressed diff artifact = %+v", cmp)
+	}
+}
+
+func TestRunCompareBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	good := writeReport(t, dir, "good.json", mkReport(bench("a", 1, 1)))
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"benchmarks":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code := runCompare(filepath.Join(dir, "nope.json"), good, 1, "", 1.75, 1.15, 2, &out, &out); code != 2 {
+		t.Errorf("missing baseline exit = %d, want 2", code)
+	}
+	if code := runCompare(good, empty, 1, "", 1.75, 1.15, 2, &out, &out); code != 2 {
+		t.Errorf("empty candidate exit = %d, want 2", code)
+	}
+}

@@ -257,6 +257,27 @@ func perfBenchmarks() ([]string, map[string]func(n int) error) {
 // runPerf executes the suite and writes the JSON report. Exit code 0 on
 // success, 1 on any benchmark or write error.
 func runPerf(runs int, outPath string, stdout, stderr io.Writer) int {
+	report, code := collectPerf(runs, stdout, stderr)
+	if code != 0 {
+		return code
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "csbench:", err)
+		return 1
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(stderr, "csbench:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", outPath)
+	return 0
+}
+
+// collectPerf runs the whole suite and returns the aggregated report
+// (shared by -perf, which persists it, and -compare, which diffs it
+// against a baseline).
+func collectPerf(runs int, stdout, stderr io.Writer) (perfReport, int) {
 	if runs < 1 {
 		runs = 1
 	}
@@ -284,7 +305,7 @@ func runPerf(runs int, outPath string, stdout, stderr io.Writer) int {
 		}
 		if benchErr != nil {
 			fmt.Fprintf(stderr, "csbench: perf %s: %v\n", name, benchErr)
-			return 1
+			return report, 1
 		}
 		res := perfBenchResult{
 			Name:              name,
@@ -304,15 +325,5 @@ func runPerf(runs int, outPath string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "nil-obs overhead: %+.2f%% (budget: <= 2%% on a quiet machine)\n",
 		report.NilObsOverheadPercent)
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		fmt.Fprintln(stderr, "csbench:", err)
-		return 1
-	}
-	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintln(stderr, "csbench:", err)
-		return 1
-	}
-	fmt.Fprintf(stdout, "wrote %s\n", outPath)
-	return 0
+	return report, 0
 }

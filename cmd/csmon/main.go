@@ -10,13 +10,16 @@
 //	csmon -addr localhost:9090 -count 1 -plain # one snapshot, no ANSI
 //	csmon -addr localhost:8080 -traces 5       # also show the 5 slowest
 //	                                           # recent request traces
+//	csmon -addr localhost:8080 -slo            # also show SLO burn rates
 //
 // With -traces N the dashboard also polls /debug/traces (csserve's
 // tail-sampled request trace store) and renders the N slowest recent
-// requests with their per-phase latency breakdown. Either endpoint may
-// be missing — csserve has no /debug/csrun, csfarm has no trace store —
-// and the dashboard degrades to whichever is present; only when
-// neither answers does it exit 1.
+// requests with their per-phase latency breakdown. With -slo it also
+// polls /debug/slo and renders the rolling-window error/latency burn
+// rates and the multi-window alert states. Any endpoint may be missing
+// — csserve has no /debug/csrun, csfarm has no trace store or SLO
+// tracker — and the dashboard degrades to whichever is present; only
+// when nothing answers does it exit 1.
 //
 // Exit status: 0 when the monitored run reaches phase "done" (or after
 // -count polls), 1 when the endpoint cannot be fetched or parsed, 2 on
@@ -49,6 +52,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		count    = fs.Int("count", 0, "stop after this many polls (0: until the run is done)")
 		plain    = fs.Bool("plain", false, "append frames instead of clearing the terminal (for logs and pipes)")
 		traces   = fs.Int("traces", 0, "also show the N slowest recent request traces from /debug/traces (0 disables)")
+		slo      = fs.Bool("slo", false, "also show SLO burn rates and alert states from /debug/slo")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -68,7 +72,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 		if statusErr == nil {
 			render(stdout, *addr, st)
-		} else if *traces > 0 {
+		} else if *traces > 0 || *slo {
 			// csserve has a trace store but no run status; monitoring
 			// just the traces is still useful, so note the gap and go
 			// on. Only when the trace fetch fails too is there nothing
@@ -91,6 +95,18 @@ func run(argv []string, stdout, stderr io.Writer) int {
 				// The status endpoint may live on a server without a
 				// trace store; keep monitoring, note the gap.
 				fmt.Fprintf(stdout, "traces: unavailable (%v)\n", err)
+			}
+		}
+		if *slo {
+			snap, err := fetchSLO(client, "http://"+*addr+"/debug/slo")
+			switch {
+			case err == nil:
+				renderSLO(stdout, snap)
+			case statusErr != nil && *traces == 0:
+				fmt.Fprintln(stderr, "csmon:", err)
+				return 1
+			default:
+				fmt.Fprintf(stdout, "slo: unavailable (%v)\n", err)
 			}
 		}
 		polls++
@@ -133,6 +149,43 @@ func fetchTraces(client *http.Client, url string) ([]obs.TraceRecord, error) {
 		return nil, fmt.Errorf("decoding %s: %w", url, err)
 	}
 	return body.Traces, nil
+}
+
+func fetchSLO(client *http.Client, url string) (obs.SLOSnapshot, error) {
+	var snap obs.SLOSnapshot
+	resp, err := client.Get(url)
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return snap, fmt.Errorf("decoding %s: %w", url, err)
+	}
+	return snap, nil
+}
+
+func renderSLO(w io.Writer, snap obs.SLOSnapshot) {
+	fmt.Fprintf(w, "slo  availability>=%.4g  latency: %.4g under %.0fms  uptime=%.0fs\n",
+		snap.AvailabilityObjective, snap.LatencyObjective, snap.LatencyThresholdMS, snap.UptimeSeconds)
+	fmt.Fprintf(w, "%-12s %9s %7s %10s %9s %7s %10s %9s\n",
+		"window", "requests", "errors", "err_rate", "err_burn", "slow", "slow_rate", "lat_burn")
+	rows := append(append([]obs.SLOWindow(nil), snap.Windows...), snap.Total)
+	for _, win := range rows {
+		fmt.Fprintf(w, "%-12s %9d %7d %10.4f %9.2f %7d %10.4f %9.2f\n",
+			win.Window, win.Requests, win.Errors, win.ErrorRate, win.ErrorBurnRate,
+			win.Slow, win.SlowRate, win.LatencyBurnRate)
+	}
+	for _, a := range snap.Alerts {
+		state := "ok"
+		if a.Firing {
+			state = "FIRING"
+		}
+		fmt.Fprintf(w, "alert %-12s %-6s burn>=%-5.3g over %s+%s: %s\n",
+			a.SLI, a.Severity, a.BurnThreshold, a.ShortWindow, a.LongWindow, state)
+	}
 }
 
 func renderTraces(w io.Writer, recs []obs.TraceRecord) {

@@ -181,3 +181,100 @@ func TestRunExitCodes(t *testing.T) {
 		t.Errorf("unreachable: run = %d, want 1", got)
 	}
 }
+
+const sampleSLO = `{
+  "availability_objective": 0.999,
+  "latency_objective": 0.99,
+  "latency_threshold_ms": 250,
+  "uptime_seconds": 120,
+  "windows": [
+    {"window": "5m0s", "requests": 600, "errors": 30, "error_rate": 0.05,
+     "error_burn_rate": 50, "slow": 6, "slow_rate": 0.0105, "latency_burn_rate": 1.05},
+    {"window": "1h0m0s", "requests": 600, "errors": 30, "error_rate": 0.05,
+     "error_burn_rate": 50, "slow": 6, "slow_rate": 0.0105, "latency_burn_rate": 1.05},
+    {"window": "6h0m0s", "requests": 600, "errors": 30, "error_rate": 0.05,
+     "error_burn_rate": 50, "slow": 6, "slow_rate": 0.0105, "latency_burn_rate": 1.05}
+  ],
+  "total": {"window": "since_start", "requests": 600, "errors": 30,
+    "error_rate": 0.05, "error_burn_rate": 50, "slow": 6,
+    "slow_rate": 0.0105, "latency_burn_rate": 1.05},
+  "alerts": [
+    {"sli": "availability", "severity": "page", "short_window": "5m0s",
+     "long_window": "1h0m0s", "burn_threshold": 14.4, "firing": true},
+    {"sli": "latency", "severity": "ticket", "short_window": "1h0m0s",
+     "long_window": "6h0m0s", "burn_threshold": 6, "firing": false}
+  ]
+}`
+
+// -slo renders the burn-rate table and alert states beneath the
+// dashboard, degrading with a notice when the endpoint is absent.
+func TestRunRendersSLO(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		switch r.URL.Path {
+		case "/debug/csrun":
+			_, _ = w.Write([]byte(sampleStatus))
+		case "/debug/slo":
+			_, _ = w.Write([]byte(sampleSLO))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(srv.Close)
+	var stdout, stderr bytes.Buffer
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	if got := run([]string{"-addr", addr, "-count", "1", "-plain", "-slo"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("run = %d\nstderr: %s", got, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"slo  availability>=0.999", "5m0s", "since_start",
+		"50.00", "FIRING", "alert latency", "ok",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SLO view missing %q:\n%s", want, out)
+		}
+	}
+
+	// Status-only server: the SLO block degrades to a notice.
+	plain := statusServer(t, sampleStatus)
+	stdout.Reset()
+	stderr.Reset()
+	plainAddr := strings.TrimPrefix(plain.URL, "http://")
+	if got := run([]string{"-addr", plainAddr, "-count", "1", "-plain", "-slo"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("run = %d\nstderr: %s", got, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "slo: unavailable") {
+		t.Errorf("missing unavailable notice:\n%s", stdout.String())
+	}
+}
+
+// An SLO-only server (csserve without -traces polling) must keep the
+// monitor alive; a server with neither endpoint exits 1.
+func TestRunSLOOnlyServer(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/slo" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(sampleSLO))
+	}))
+	t.Cleanup(srv.Close)
+	var stdout, stderr bytes.Buffer
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	if got := run([]string{"-addr", addr, "-count", "1", "-plain", "-slo"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("run = %d\nstderr: %s", got, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "status: unavailable") || !strings.Contains(stdout.String(), "slo  availability") {
+		t.Errorf("SLO-only view wrong:\n%s", stdout.String())
+	}
+
+	dead := httptest.NewServer(http.NotFoundHandler())
+	t.Cleanup(dead.Close)
+	stdout.Reset()
+	deadAddr := strings.TrimPrefix(dead.URL, "http://")
+	if got := run([]string{"-addr", deadAddr, "-count", "1", "-plain", "-slo"}, &stdout, &stderr); got != 1 {
+		t.Fatalf("run against 404-everything = %d, want 1", got)
+	}
+}

@@ -13,6 +13,8 @@
 //	csserve -flight 4096                 # ring of recent requests,
 //	                                     # dumped to stderr on SIGQUIT
 //	csserve -trace-store 4096 -trace-sample 0.5 -trace-slowest 16
+//	csserve -runtime-sample 10s -leak-limit 0
+//	csserve -slo-target 0.999 -slo-latency-ms 250 -slo-latency-target 0.99
 //
 // Endpoints: POST /v1/plan, POST /v1/estimate, GET /v1/healthz, plus
 // /metrics, /debug/vars and /debug/pprof from the shared obs mux, and
@@ -20,6 +22,15 @@
 // keeps errors and the slowest -trace-slowest per -trace-window;
 // keeps the rest with probability -trace-sample). Requests carry W3C
 // traceparent in, X-Trace-Id and Server-Timing out.
+//
+// Runtime observability: the runtime/metrics bridge samples GC pause
+// quantiles, heap residency, allocation throughput, scheduler latency
+// and the goroutine population into /metrics every -runtime-sample;
+// GET /debug/slo reports rolling-window error and latency burn rates
+// against the -slo-* objectives; GET /debug/delta/allocs and
+// GET /debug/delta/heap diff two in-process heap-profile snapshots
+// ?seconds apart — allocation sources or live-heap growth since the
+// last GC, with no restart and no external tooling.
 //
 // SIGTERM or SIGINT drains gracefully: the listener stops accepting,
 // in-flight requests get -grace to finish, then the worker pool is
@@ -82,6 +93,13 @@ func runApp(argv []string, stdout, stderr io.Writer, ready chan<- string, stop <
 		traceSample  = fs.Float64("trace-sample", 0.1, "probability of keeping an unremarkable request's trace (errors and the slowest are always kept; negative keeps none)")
 		traceSlowest = fs.Int("trace-slowest", 8, "always keep the slowest N requests per -trace-window")
 		traceWindow  = fs.Duration("trace-window", 10*time.Second, "comparison window for -trace-slowest")
+
+		runtimeSample = fs.Duration("runtime-sample", 10*time.Second, "runtime/metrics bridge sampling interval (negative disables the bridge)")
+		leakLimit     = fs.Int("leak-limit", 0, "goroutine count the leak watchdog alarms on (0 = derive from the first sample)")
+
+		sloTarget        = fs.Float64("slo-target", 0.999, "availability objective: target fraction of non-5xx responses")
+		sloLatencyMS     = fs.Float64("slo-latency-ms", 250, "latency SLI threshold in milliseconds")
+		sloLatencyTarget = fs.Float64("slo-latency-target", 0.99, "latency objective: target fraction of served responses under -slo-latency-ms")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -105,6 +123,21 @@ func runApp(argv []string, stdout, stderr io.Writer, ready chan<- string, stop <
 			Window:     *traceWindow,
 		})
 	}
+	slo := obs.NewSLOTracker(obs.SLOConfig{
+		AvailabilityObjective: *sloTarget,
+		LatencyObjective:      *sloLatencyTarget,
+		LatencyThresholdMS:    *sloLatencyMS,
+	})
+	var bridge *obs.RuntimeBridge
+	if *runtimeSample >= 0 {
+		bridge = obs.NewRuntimeBridge(reg, obs.RuntimeBridgeConfig{
+			Interval:  *runtimeSample,
+			LeakLimit: *leakLimit,
+		})
+		bridge.Start()
+		//lint:allow goroutinecap Stop closes the sampler's stop channel; the bridge is internally synchronized
+		defer bridge.Stop()
+	}
 	s := serve.New(serve.Config{
 		Workers:              *workers,
 		Queue:                *queue,
@@ -117,6 +150,8 @@ func runApp(argv []string, stdout, stderr io.Writer, ready chan<- string, stop <
 		Registry:             reg,
 		Flight:               fr,
 		Tracer:               tracer,
+		SLO:                  slo,
+		Runtime:              bridge,
 		Version:              version,
 	})
 
@@ -125,6 +160,9 @@ func runApp(argv []string, stdout, stderr io.Writer, ready chan<- string, stop <
 	if tracer != nil {
 		mux.Handle("GET /debug/traces", tracer)
 	}
+	mux.Handle("GET /debug/slo", slo)
+	mux.Handle("GET /debug/delta/allocs", obs.DeltaProfileHandler(obs.DeltaAllocs))
+	mux.Handle("GET /debug/delta/heap", obs.DeltaProfileHandler(obs.DeltaHeap))
 	srv := &http.Server{Handler: mux}
 
 	lis, err := net.Listen("tcp", *addr)

@@ -215,3 +215,224 @@ func TestServeBadAddr(t *testing.T) {
 		t.Errorf("bad addr exit = %d, want 1", code)
 	}
 }
+
+// The runtime-observability surfaces: /debug/slo burn rates fed by the
+// instrumented routes, /debug/delta/* on-demand profiling, and the
+// healthz runtime block (GC cycles, last pause, leak verdict).
+func TestServeRuntimeObservability(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	code := make(chan int, 1)
+	go func() {
+		code <- runApp([]string{"-addr", "127.0.0.1:0", "-workers", "2", "-runtime-sample", "50ms"},
+			&stdout, &stderr, ready, stop)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("server never became ready; stderr: %s", stderr.String())
+	}
+	base := "http://" + addr
+	defer func() {
+		close(stop)
+		select {
+		case <-code:
+		case <-time.After(10 * time.Second):
+			t.Fatal("server did not drain after stop")
+		}
+	}()
+
+	// One good and one bad request feed the SLO windows.
+	resp, err := http.Post(base+"/v1/plan", "application/json",
+		strings.NewReader(`{"life":"uniform","lifespan":450}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Post(base+"/v1/plan", "application/json", strings.NewReader(`not json`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad body status = %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/debug/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slo struct {
+		AvailabilityObjective float64 `json:"availability_objective"`
+		Windows               []struct {
+			Window        string  `json:"window"`
+			Requests      uint64  `json:"requests"`
+			ErrorBurnRate float64 `json:"error_burn_rate"`
+		} `json:"windows"`
+		Total struct {
+			Requests uint64 `json:"requests"`
+		} `json:"total"`
+		Alerts []struct {
+			SLI string `json:"sli"`
+		} `json:"alerts"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&slo); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	//lint:allow floatcmp the default objective round-trips JSON exactly
+	if slo.AvailabilityObjective != 0.999 || len(slo.Windows) != 3 || len(slo.Alerts) != 4 {
+		t.Errorf("slo shape wrong: %+v", slo)
+	}
+	// Both plan requests were served (400 is not an SLO error); healthz
+	// probes must not appear.
+	if slo.Total.Requests != 2 {
+		t.Errorf("slo total requests = %d, want 2 (healthz excluded)", slo.Total.Requests)
+	}
+
+	resp, err = http.Get(base + "/debug/delta/heap?seconds=0.05&top=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prof struct {
+		Mode           string `json:"mode"`
+		MemProfileRate int    `json:"mem_profile_rate"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&prof); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if prof.Mode != "heap" || prof.MemProfileRate <= 0 {
+		t.Errorf("delta profile = %+v", prof)
+	}
+
+	// The delta endpoint ran GCs, so healthz must now report cycles and
+	// a pause history, and the bridge's watchdog verdict.
+	resp, err = http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		Runtime struct {
+			GCCycles       uint32  `json:"gc_cycles"`
+			GCPauseTotalMS float64 `json:"gc_pause_total_ms"`
+			HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+			NumGoroutine   int     `json:"num_goroutine"`
+			LeakSuspected  bool    `json:"goroutine_leak_suspected"`
+		} `json:"runtime"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hz.Runtime.GCCycles < 1 || hz.Runtime.GCPauseTotalMS <= 0 {
+		t.Errorf("healthz runtime GC block = %+v", hz.Runtime)
+	}
+	if hz.Runtime.HeapAllocBytes == 0 || hz.Runtime.NumGoroutine < 1 {
+		t.Errorf("healthz runtime heap block = %+v", hz.Runtime)
+	}
+	if hz.Runtime.LeakSuspected {
+		t.Errorf("leak suspected on a healthy server")
+	}
+
+	// The bridge publishes cs_runtime_ series into the shared registry.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics bytes.Buffer
+	if _, err := metrics.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, want := range []string{
+		"cs_runtime_goroutines ",
+		"cs_runtime_gc_cycles_total ",
+		`cs_runtime_gc_pause_ms{quantile="0.99"}`,
+	} {
+		if !strings.Contains(metrics.String(), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// Per-phase allocation attribution must surface in the stored trace
+// and the Server-Timing header.
+func TestServeAllocAttribution(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	code := make(chan int, 1)
+	go func() {
+		code <- runApp([]string{"-addr", "127.0.0.1:0", "-workers", "2", "-trace-sample", "1"},
+			&stdout, &stderr, ready, stop)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("server never became ready; stderr: %s", stderr.String())
+	}
+	base := "http://" + addr
+	defer func() {
+		close(stop)
+		select {
+		case <-code:
+		case <-time.After(10 * time.Second):
+			t.Fatal("server did not drain after stop")
+		}
+	}()
+
+	resp, err := http.Post(base+"/v1/estimate", "application/json",
+		strings.NewReader(`{"life":"uniform","lifespan":300,"policy":"fixed:10","episodes":50000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("estimate status = %d", resp.StatusCode)
+	}
+	if st := resp.Header.Get("Server-Timing"); !strings.Contains(st, ";alloc=") {
+		t.Errorf("Server-Timing = %q, want an ;alloc= param", st)
+	}
+
+	resp, err = http.Get(base + "/debug/traces?route=estimate&limit=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Traces []struct {
+			AllocObjects uint64 `json:"alloc_objects"`
+			AllocBytes   uint64 `json:"alloc_bytes"`
+			Phases       []struct {
+				Name         string `json:"name"`
+				AllocObjects uint64 `json:"alloc_objects"`
+			} `json:"phases"`
+		} `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(body.Traces) != 1 {
+		t.Fatalf("stored traces = %d, want 1", len(body.Traces))
+	}
+	rec := body.Traces[0]
+	if rec.AllocObjects == 0 || rec.AllocBytes == 0 {
+		t.Errorf("trace alloc totals = %d/%d, want > 0", rec.AllocObjects, rec.AllocBytes)
+	}
+	computeSeen := false
+	for _, p := range rec.Phases {
+		if p.Name == "compute" {
+			computeSeen = true
+			if p.AllocObjects == 0 {
+				t.Errorf("compute phase recorded no allocations")
+			}
+		}
+	}
+	if !computeSeen {
+		t.Errorf("no compute phase in trace: %+v", rec.Phases)
+	}
+}

@@ -1,0 +1,207 @@
+package obs
+
+// On-demand delta profiling: GET /debug/delta/allocs and
+// /debug/delta/heap diff two runtime.MemProfile snapshots taken
+// `seconds` apart and return the stacks whose allocation (or heap
+// residency) grew the most in between, symbolized and JSON-encoded —
+// "where did the garbage come from in the last two seconds" without
+// restarting the server or shipping pprof protobufs to another tool.
+//
+// Stack-level numbers inherit runtime.MemProfileRate sampling (one
+// sample per ~512 KiB allocated by default), so small allocation sites
+// may be invisible; the top-level totals come from the exact
+// runtime/metrics allocation counters and are not sampled. Each
+// snapshot is preceded by runtime.GC() so the profile reflects
+// completed mark cycles — the endpoint is a diagnostic, not a hot
+// path.
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// DeltaMode selects what a delta profile ranks by.
+type DeltaMode string
+
+const (
+	// DeltaAllocs ranks stacks by bytes allocated during the window —
+	// allocation churn, the GC-pressure view.
+	DeltaAllocs DeltaMode = "allocs"
+	// DeltaHeap ranks stacks by growth of live (in-use) bytes during
+	// the window — residency, the leak-hunting view.
+	DeltaHeap DeltaMode = "heap"
+)
+
+// DeltaStack is one call stack's growth between the two snapshots.
+type DeltaStack struct {
+	Funcs        []string `json:"funcs"` // innermost first, "pkg.Fn file:line"
+	AllocObjects int64    `json:"alloc_objects"`
+	AllocBytes   int64    `json:"alloc_bytes"`
+	InUseObjects int64    `json:"inuse_objects"`
+	InUseBytes   int64    `json:"inuse_bytes"`
+}
+
+// DeltaProfile is the /debug/delta/{allocs,heap} payload.
+type DeltaProfile struct {
+	Mode    DeltaMode `json:"mode"`
+	Seconds float64   `json:"seconds"`
+	// Exact process-wide deltas from runtime/metrics (not sampled).
+	TotalAllocObjects uint64 `json:"total_alloc_objects"`
+	TotalAllocBytes   uint64 `json:"total_alloc_bytes"`
+	// MemProfileRate documents the sampling granularity of the
+	// per-stack numbers below.
+	MemProfileRate int          `json:"mem_profile_rate"`
+	Stacks         []DeltaStack `json:"stacks"`
+}
+
+// memSnapshot is one MemProfile capture keyed by call stack.
+type memSnapshot map[[32]uintptr]runtime.MemProfileRecord
+
+func takeMemSnapshot() memSnapshot {
+	// Two GCs: the first queues recently dropped objects for sweep, the
+	// second updates the profile with their death — the same reason
+	// net/http/pprof's heap?gc=1 runs a GC before writing.
+	runtime.GC()
+	n, _ := runtime.MemProfile(nil, true)
+	recs := make([]runtime.MemProfileRecord, n+64)
+	for {
+		var ok bool
+		n, ok = runtime.MemProfile(recs, true)
+		if ok {
+			recs = recs[:n]
+			break
+		}
+		recs = make([]runtime.MemProfileRecord, n+64)
+	}
+	snap := make(memSnapshot, len(recs))
+	for _, r := range recs {
+		key := r.Stack0
+		if have, dup := snap[key]; dup {
+			have.AllocObjects += r.AllocObjects
+			have.AllocBytes += r.AllocBytes
+			have.FreeObjects += r.FreeObjects
+			have.FreeBytes += r.FreeBytes
+			snap[key] = have
+		} else {
+			snap[key] = r
+		}
+	}
+	return snap
+}
+
+// diffSnapshots returns per-stack growth of after over before. Stacks
+// new in after count in full; stacks only in before are dropped (their
+// deltas are <= 0 in every mode we rank by).
+func diffSnapshots(before, after memSnapshot) []DeltaStack {
+	out := make([]DeltaStack, 0, 32)
+	for key, a := range after {
+		b := before[key] // zero record when absent
+		d := DeltaStack{
+			AllocObjects: a.AllocObjects - b.AllocObjects,
+			AllocBytes:   a.AllocBytes - b.AllocBytes,
+			InUseObjects: a.InUseObjects() - b.InUseObjects(),
+			InUseBytes:   a.InUseBytes() - b.InUseBytes(),
+		}
+		if d.AllocObjects == 0 && d.AllocBytes == 0 && d.InUseObjects == 0 && d.InUseBytes == 0 {
+			continue
+		}
+		d.Funcs = symbolize(a.Stack())
+		out = append(out, d)
+	}
+	return out
+}
+
+func symbolize(pcs []uintptr) []string {
+	if len(pcs) == 0 {
+		return nil
+	}
+	frames := runtime.CallersFrames(pcs)
+	var out []string
+	for {
+		f, more := frames.Next()
+		if f.Function != "" {
+			out = append(out, f.Function+" "+f.File+":"+strconv.Itoa(f.Line))
+		}
+		if !more {
+			break
+		}
+	}
+	return out
+}
+
+// DeltaProfileHandler serves one delta-profile mode. Query parameters:
+// seconds (float, default 2, clamped to [0.05, 60]) and top (int,
+// default 20, the number of stacks returned). The wait honours request
+// cancellation, so an impatient client does not pin the handler.
+func DeltaProfileHandler(mode DeltaMode) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		seconds := 2.0
+		if v := r.URL.Query().Get("seconds"); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				http.Error(w, "bad seconds: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			seconds = f
+		}
+		if seconds < 0.05 {
+			seconds = 0.05
+		}
+		if seconds > 60 {
+			seconds = 60
+		}
+		top := 20
+		if v := r.URL.Query().Get("top"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				http.Error(w, "bad top", http.StatusBadRequest)
+				return
+			}
+			top = n
+		}
+
+		objs0, bytes0 := HeapAllocs()
+		before := takeMemSnapshot()
+		select {
+		case <-time.After(time.Duration(seconds * float64(time.Second))):
+		case <-r.Context().Done():
+			return
+		}
+		after := takeMemSnapshot()
+		objs1, bytes1 := HeapAllocs()
+
+		stacks := diffSnapshots(before, after)
+		sort.Slice(stacks, func(i, j int) bool {
+			if mode == DeltaHeap {
+				return stacks[i].InUseBytes > stacks[j].InUseBytes
+			}
+			return stacks[i].AllocBytes > stacks[j].AllocBytes
+		})
+		if len(stacks) > top {
+			stacks = stacks[:top]
+		}
+		resp := DeltaProfile{
+			Mode:              mode,
+			Seconds:           seconds,
+			TotalAllocObjects: objs1 - objs0,
+			TotalAllocBytes:   bytes1 - bytes0,
+			MemProfileRate:    runtime.MemProfileRate,
+			Stacks:            stacks,
+		}
+		if resp.Stacks == nil {
+			resp.Stacks = []DeltaStack{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(resp)
+	})
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestDeltaProfileHandlerAllocs(t *testing.T) {
+	h := DeltaProfileHandler(DeltaAllocs)
+
+	// Churn allocations while the profiling window is open so the exact
+	// totals have something to count.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = make([]byte, 64<<10)
+			}
+		}
+	}()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/delta/allocs?seconds=0.05&top=5", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var p DeltaProfile
+	if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if p.Mode != DeltaAllocs {
+		t.Errorf("mode = %q, want allocs", p.Mode)
+	}
+	//lint:allow floatcmp the handler echoes the parsed query value verbatim
+	if p.Seconds != 0.05 {
+		t.Errorf("seconds = %v, want 0.05", p.Seconds)
+	}
+	if p.TotalAllocBytes == 0 || p.TotalAllocObjects == 0 {
+		t.Errorf("exact totals zero under an allocation churn: %+v", p)
+	}
+	if p.MemProfileRate <= 0 {
+		t.Errorf("mem_profile_rate = %d", p.MemProfileRate)
+	}
+	if len(p.Stacks) > 5 {
+		t.Errorf("top=5 returned %d stacks", len(p.Stacks))
+	}
+	for _, s := range p.Stacks {
+		if len(s.Funcs) == 0 {
+			t.Errorf("stack with no symbolized frames: %+v", s)
+		}
+	}
+}
+
+func TestDeltaProfileHandlerHeapMode(t *testing.T) {
+	h := DeltaProfileHandler(DeltaHeap)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/?seconds=0.01", nil)) // clamps to 0.05
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var p DeltaProfile
+	if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+		t.Fatal(err)
+	}
+	//lint:allow floatcmp the clamp floor is an exact constant
+	if p.Mode != DeltaHeap || p.Seconds != 0.05 {
+		t.Errorf("mode=%q seconds=%v, want heap/0.05", p.Mode, p.Seconds)
+	}
+	if p.Stacks == nil {
+		t.Errorf("stacks must encode as [], not null")
+	}
+}
+
+func TestDeltaProfileHandlerBadRequests(t *testing.T) {
+	h := DeltaProfileHandler(DeltaAllocs)
+	for _, q := range []string{"?seconds=x", "?top=0", "?top=x"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/"+q, nil))
+		if rec.Code != 400 {
+			t.Errorf("%s: status = %d, want 400", q, rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/", nil))
+	if rec.Code != 405 {
+		t.Errorf("POST status = %d, want 405", rec.Code)
+	}
+}
+
+func TestDeltaProfileHandlerHonoursCancellation(t *testing.T) {
+	h := DeltaProfileHandler(DeltaAllocs)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/?seconds=60", nil).WithContext(ctx)
+	done := make(chan struct{})
+	go func() {
+		h.ServeHTTP(rec, req)
+		close(done)
+	}()
+	<-done // must return promptly, not sleep 60s
+	if rec.Body.Len() != 0 {
+		t.Errorf("cancelled request produced a body: %s", rec.Body.String())
+	}
+}
+
+func TestDiffSnapshotsCountsNewStacks(t *testing.T) {
+	var key [32]uintptr
+	key[0] = 1
+	before := memSnapshot{}
+	after := memSnapshot{}
+	var rec = after[key] // zero
+	rec.AllocObjects = 10
+	rec.AllocBytes = 1024
+	after[key] = rec
+	ds := diffSnapshots(before, after)
+	if len(ds) != 1 || ds[0].AllocObjects != 10 || ds[0].AllocBytes != 1024 {
+		t.Fatalf("new-stack delta = %+v", ds)
+	}
+	// Unchanged stacks are elided.
+	if ds2 := diffSnapshots(after, after); len(ds2) != 0 {
+		t.Errorf("identical snapshots produced deltas: %+v", ds2)
+	}
+}

@@ -97,8 +97,10 @@ var httpLatencyBuckets = ExpBuckets(0.25, 2, 16)
 // and X-Trace-Id headers, the latency histogram gets the trace ID as
 // an exemplar, and the finalized record is offered to tr's tail
 // sampler (tr may be nil — headers and context still work, nothing is
-// stored).
-func InstrumentHandler(reg *Registry, route string, tr *Tracer, next http.Handler) http.Handler {
+// stored). When slo is non-nil every outcome also feeds the rolling
+// SLO windows, so /debug/slo burn rates cover exactly the
+// instrumented routes.
+func InstrumentHandler(reg *Registry, route string, tr *Tracer, slo *SLOTracker, next http.Handler) http.Handler {
 	if reg == nil {
 		return next
 	}
@@ -127,6 +129,7 @@ func InstrumentHandler(reg *Registry, route string, tr *Tracer, next http.Handle
 		latHist.ObserveExemplar(ms, rt.TraceID())
 		reg.Counter(Labeled("cs_http_requests_total", "route", route, "code", strconv.Itoa(code)),
 			"HTTP requests by route and status code").Inc()
+		slo.Record(code, ms)
 		tr.Offer(rt.Finalize(code))
 	})
 }

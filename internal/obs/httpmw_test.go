@@ -11,7 +11,7 @@ import (
 
 func TestInstrumentHandlerRecordsStatusAndLatency(t *testing.T) {
 	reg := NewRegistry()
-	h := InstrumentHandler(reg, "plan", nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	h := InstrumentHandler(reg, "plan", nil, nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Query().Get("fail") != "" {
 			http.Error(w, "nope", http.StatusTooManyRequests)
 			return
@@ -59,7 +59,7 @@ func TestInstrumentHandlerRecordsStatusAndLatency(t *testing.T) {
 
 func TestInstrumentHandlerNilRegistryPassesThrough(t *testing.T) {
 	called := false
-	h := InstrumentHandler(nil, "x", nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	h := InstrumentHandler(nil, "x", nil, nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		called = true
 		w.WriteHeader(http.StatusNoContent)
 	}))
@@ -77,7 +77,7 @@ func TestInstrumentHandlerConcurrentMixedStatus(t *testing.T) {
 	reg := NewRegistry()
 	tr := NewTracer(TracerConfig{Capacity: 4096, SampleRate: -1})
 	codes := []int{200, 404, 429, 500}
-	h := InstrumentHandler(reg, "mix", tr, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	h := InstrumentHandler(reg, "mix", tr, nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		var code int
 		if _, err := fmt.Sscanf(r.URL.Query().Get("code"), "%d", &code); err != nil {
 			t.Errorf("bad code param: %v", err)
@@ -145,7 +145,7 @@ func TestInstrumentHandlerConcurrentMixedStatus(t *testing.T) {
 func TestInstrumentHandlerStitchesRemoteParent(t *testing.T) {
 	reg := NewRegistry()
 	tr := NewTracer(TracerConfig{SampleRate: 1})
-	h := InstrumentHandler(reg, "plan", tr, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	h := InstrumentHandler(reg, "plan", tr, nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		_, _ = w.Write([]byte("ok"))
 	}))
 	parent := NewTraceContext()

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// StartPhase must bracket the phase with the exact allocation counters
+// and stamp the deltas on the recorded span.
+func TestStartPhaseCapturesAllocDeltas(t *testing.T) {
+	rt := NewReqTrace("plan")
+	end := rt.StartPhase(PhaseCompute)
+	sink := make([][]byte, 0, 128)
+	for i := 0; i < 128; i++ {
+		sink = append(sink, make([]byte, 4096))
+	}
+	runtime.KeepAlive(sink)
+	end()
+
+	rec := rt.Finalize(200)
+	if len(rec.Phases) != 1 {
+		t.Fatalf("phases = %d, want 1", len(rec.Phases))
+	}
+	p := rec.Phases[0]
+	if p.AllocObjects < 128 {
+		t.Errorf("alloc_objects = %d, want >= 128", p.AllocObjects)
+	}
+	if p.AllocBytes < 128*4096 {
+		t.Errorf("alloc_bytes = %d, want >= %d", p.AllocBytes, 128*4096)
+	}
+	// Finalize rolls the per-phase deltas up onto the record.
+	if rec.AllocObjects != p.AllocObjects || rec.AllocBytes != p.AllocBytes {
+		t.Errorf("record totals %d/%d != phase %d/%d",
+			rec.AllocObjects, rec.AllocBytes, p.AllocObjects, p.AllocBytes)
+	}
+}
+
+func TestAddPhaseAllocSumsIntoRecord(t *testing.T) {
+	rt := NewReqTrace("estimate")
+	now := time.Now()
+	rt.AddPhaseAlloc(PhaseQueue, now, time.Millisecond, 10, 1000)
+	rt.AddPhaseAlloc(PhaseCompute, now, 2*time.Millisecond, 30, 5000)
+	rt.AddPhase(PhaseCache, now, time.Microsecond, "outcome", "miss") // zero allocs
+	// Nested instrumentation spans (mc runs inside compute) report
+	// per-phase but must not double-count in the record totals.
+	rt.AddPhaseAlloc("mc", now, time.Millisecond, 29, 4900)
+	rec := rt.Finalize(200)
+	if rec.AllocObjects != 40 || rec.AllocBytes != 6000 {
+		t.Errorf("totals = %d objs / %d bytes, want 40/6000", rec.AllocObjects, rec.AllocBytes)
+	}
+	for _, p := range rec.Phases {
+		if p.Name == PhaseCache && (p.AllocObjects != 0 || p.AllocBytes != 0) {
+			t.Errorf("AddPhase stamped alloc deltas: %+v", p)
+		}
+	}
+}
+
+// Server-Timing carries the phase's allocation object count as a
+// custom ;alloc= param — and omits it for alloc-free phases so the
+// header stays small.
+func TestServerTimingAllocParam(t *testing.T) {
+	rt := NewReqTrace("plan")
+	now := time.Now()
+	rt.AddPhaseAlloc(PhaseCompute, now, 5*time.Millisecond, 1380, 99000)
+	rt.AddPhase(PhaseCache, now, time.Millisecond, "outcome", "miss")
+	st := rt.ServerTiming()
+	if !strings.Contains(st, "compute;dur=") || !strings.Contains(st, ";alloc=1380") {
+		t.Errorf("Server-Timing = %q, want compute with ;alloc=1380", st)
+	}
+	if strings.Contains(st, "cache;dur=1.000;alloc") {
+		t.Errorf("alloc-free phase carries an alloc param: %q", st)
+	}
+	if !strings.Contains(st, "total;dur=") {
+		t.Errorf("Server-Timing lost the total: %q", st)
+	}
+}
+
+func TestAddPhaseAllocNilAndFinalized(t *testing.T) {
+	var rt *ReqTrace
+	rt.AddPhaseAlloc(PhaseQueue, time.Now(), time.Millisecond, 5, 500) // no panic
+
+	live := NewReqTrace("plan")
+	live.Finalize(200)
+	live.AddPhaseAlloc(PhaseCompute, time.Now(), time.Millisecond, 5, 500)
+	if rec := live.Finalize(200); rec.AllocObjects != 0 {
+		t.Errorf("post-Finalize phase leaked into the record: %+v", rec)
+	}
+}

@@ -35,6 +35,8 @@ type TraceRecord struct {
 	Status        int                `json:"status"`
 	StartUnixNano int64              `json:"start_unix_nano"`
 	TotalMS       float64            `json:"total_ms"`
+	AllocObjects  uint64             `json:"alloc_objects,omitempty"`
+	AllocBytes    uint64             `json:"alloc_bytes,omitempty"`
 	Cache         string             `json:"cache,omitempty"`
 	Breakdown     map[string]float64 `json:"breakdown"`
 	Phases        []PhaseSpan        `json:"phases,omitempty"`
@@ -63,6 +65,7 @@ const (
 // drops everything, so untraced deployments pay one nil check.
 type Tracer struct {
 	cfg TracerConfig
+	now func() time.Time // injectable clock for window-rotation tests
 
 	mu          sync.Mutex
 	ring        []TraceRecord
@@ -93,12 +96,14 @@ func NewTracer(cfg TracerConfig) *Tracer {
 	if cfg.Window <= 0 {
 		cfg.Window = 10 * time.Second
 	}
-	return &Tracer{
-		cfg:         cfg,
-		ring:        make([]TraceRecord, cfg.Capacity),
-		byReason:    make(map[string]uint64, 3),
-		windowStart: time.Now(),
+	t := &Tracer{
+		cfg:      cfg,
+		now:      time.Now,
+		ring:     make([]TraceRecord, cfg.Capacity),
+		byReason: make(map[string]uint64, 3),
 	}
+	t.windowStart = t.now()
+	return t
 }
 
 // Offer submits a finalized record to the sampler and reports whether
@@ -141,7 +146,7 @@ func (t *Tracer) sampleReason(rec TraceRecord) string {
 	// arrivals of every window would be labeled slow regardless of
 	// latency. Records below the carried floor still fall through to
 	// rate sampling.
-	now := time.Now()
+	now := t.now()
 	if now.Sub(t.windowStart) > t.cfg.Window {
 		t.windowStart = now
 		// Only a full buffer defines a meaningful floor; a sparse

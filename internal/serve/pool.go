@@ -41,6 +41,12 @@ type poolTask struct {
 	enq  time.Time // submission time, for queue-wait attribution
 	ran  bool      // set by the worker before done closes; read by Do only after <-done
 	done chan struct{}
+
+	// Queue-wait allocation attribution: the submitting goroutine
+	// snapshots the allocation counters, the worker diffs them at
+	// pickup. Captured only when the request is traced.
+	rt                *obs.ReqTrace
+	enqObjs, enqBytes uint64
 }
 
 // NewPool starts workers goroutines servicing a queue of the given
@@ -71,7 +77,10 @@ func (p *Pool) worker() {
 			if p.wait != nil {
 				p.wait.Observe(float64(waited) / float64(time.Millisecond))
 			}
-			obs.ReqTraceFrom(t.ctx).AddPhase(obs.PhaseQueue, t.enq, waited)
+			if t.rt != nil {
+				objs, bytes := obs.HeapAllocs()
+				t.rt.AddPhaseAlloc(obs.PhaseQueue, t.enq, waited, objs-t.enqObjs, bytes-t.enqBytes)
+			}
 			t.fn(t.ctx)
 			t.ran = true
 		} else if p.skipped != nil {
@@ -96,6 +105,10 @@ func (p *Pool) worker() {
 // requests.
 func (p *Pool) Do(ctx context.Context, fn func(context.Context)) error {
 	t := &poolTask{ctx: ctx, fn: fn, enq: time.Now(), done: make(chan struct{})}
+	if rt := obs.ReqTraceFrom(ctx); rt != nil {
+		t.rt = rt
+		t.enqObjs, t.enqBytes = obs.HeapAllocs()
+	}
 	p.mu.RLock()
 	if p.closed {
 		p.mu.RUnlock()

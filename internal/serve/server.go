@@ -46,6 +46,14 @@ type Config struct {
 	// kept ones. Nil disables the store (requests still carry trace
 	// headers and per-phase attribution).
 	Tracer *obs.Tracer
+	// SLO, when non-nil, receives every plan/estimate outcome for
+	// rolling-window burn-rate tracking (healthz probes are excluded —
+	// they are not user traffic). Serve /debug/slo from it.
+	SLO *obs.SLOTracker
+	// Runtime, when non-nil, is the runtime/metrics bridge whose
+	// goroutine-leak watchdog verdict /v1/healthz reports. The bridge's
+	// own lifecycle (Start/Stop) belongs to the caller.
+	Runtime *obs.RuntimeBridge
 	// Version is reported by /v1/healthz (build stamp; "dev" when empty).
 	Version string
 	// Flight, when non-nil, receives one obs.Event per served request
@@ -150,12 +158,12 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 // the obs latency/status middleware and, when configured, the flight
 // recorder.
 func (s *Server) Routes(mux *http.ServeMux) {
-	mux.Handle("POST /v1/plan", s.instrument("plan", http.HandlerFunc(s.handlePlan)))
-	mux.Handle("POST /v1/estimate", s.instrument("estimate", http.HandlerFunc(s.handleEstimate)))
-	mux.Handle("GET /v1/healthz", s.instrument("healthz", http.HandlerFunc(s.handleHealthz)))
+	mux.Handle("POST /v1/plan", s.instrument("plan", s.cfg.SLO, http.HandlerFunc(s.handlePlan)))
+	mux.Handle("POST /v1/estimate", s.instrument("estimate", s.cfg.SLO, http.HandlerFunc(s.handleEstimate)))
+	mux.Handle("GET /v1/healthz", s.instrument("healthz", nil, http.HandlerFunc(s.handleHealthz)))
 }
 
-func (s *Server) instrument(route string, h http.Handler) http.Handler {
+func (s *Server) instrument(route string, slo *obs.SLOTracker, h http.Handler) http.Handler {
 	inner := h
 	if s.cfg.Flight != nil {
 		fl := s.cfg.Flight
@@ -172,7 +180,7 @@ func (s *Server) instrument(route string, h http.Handler) http.Handler {
 			})
 		})
 	}
-	return obs.InstrumentHandler(s.reg, route, s.cfg.Tracer, inner)
+	return obs.InstrumentHandler(s.reg, route, s.cfg.Tracer, slo, inner)
 }
 
 // Drain flips the server into draining mode (healthz answers 503 so
@@ -340,6 +348,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestCtx(r, spec.TimeoutMS)
 	defer cancel()
 	flightStart := time.Now()
+	flightObjs, flightBytes := obs.HeapAllocs()
 	v, shared, leader, err := s.flights.Do(ctx, key, func(runCtx context.Context) (any, error) {
 		var resp PlanResponse
 		var compErr error
@@ -358,8 +367,11 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	})
 	if !leader {
 		// A follower's entire flight wait is coalesce time: it rode on
-		// the leader's queue + compute.
-		rt.AddPhase(obs.PhaseCoalesce, flightStart, time.Since(flightStart))
+		// the leader's queue + compute. The alloc delta necessarily
+		// includes the leader's compute allocations (process-global
+		// counters — see DESIGN.md section 13).
+		objs, bytes := obs.HeapAllocs()
+		rt.AddPhaseAlloc(obs.PhaseCoalesce, flightStart, time.Since(flightStart), objs-flightObjs, bytes-flightBytes)
 	}
 	if shared {
 		s.coalesced.Inc()
@@ -426,6 +438,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestCtx(r, spec.TimeoutMS)
 	defer cancel()
 	flightStart := time.Now()
+	flightObjs, flightBytes := obs.HeapAllocs()
 	v, shared, leader, err := s.flights.Do(ctx, key, func(runCtx context.Context) (any, error) {
 		var resp EstimateResponse
 		var compErr error
@@ -443,7 +456,8 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return resp, nil
 	})
 	if !leader {
-		rt.AddPhase(obs.PhaseCoalesce, flightStart, time.Since(flightStart))
+		objs, bytes := obs.HeapAllocs()
+		rt.AddPhaseAlloc(obs.PhaseCoalesce, flightStart, time.Since(flightStart), objs-flightObjs, bytes-flightBytes)
 	}
 	if shared {
 		s.coalesced.Inc()
@@ -534,6 +548,9 @@ type Healthz struct {
 	EstCacheEntries  int         `json:"estimate_cache_entries"`
 	PlanCache        CacheHealth `json:"plan_cache"`
 	EstCache         CacheHealth `json:"estimate_cache"`
+	// Runtime is the GC / heap / goroutine block: cycle count, last and
+	// cumulative GC pause, heap residency, and the leak-watchdog verdict.
+	Runtime obs.RuntimeHealth `json:"runtime"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -551,7 +568,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		EstCacheEntries:  s.estCache.Len(),
 		PlanCache:        cacheHealth(s.planCache),
 		EstCache:         cacheHealth(s.estCache),
+		Runtime:          obs.ReadRuntimeHealth(),
 	}
+	h.Runtime.GoroutineLeakSuspected = s.cfg.Runtime.LeakSuspected()
 	status := http.StatusOK
 	if s.draining.Load() {
 		h.Status = "draining"

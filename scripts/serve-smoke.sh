@@ -4,9 +4,14 @@
 # cache speedup on identical requests, coalescing of concurrent
 # duplicates, 429 load-shedding on a saturated pool, a live /metrics
 # surface, and stitched request traces whose per-phase attribution
-# satisfies queue + coalesce + compute <= total. Artifacts (server log,
-# metrics scrape, load reports, trace store dump) land in $SMOKE_DIR
-# for CI to upload on failure.
+# satisfies queue + coalesce + compute <= total. Also gates the runtime
+# observability surface: the runtime/metrics bridge series in the
+# scrape, per-phase allocation deltas in stored traces, a well-formed
+# /debug/slo burn-rate report, delta heap profiling, the healthz
+# runtime block, and the csbench -compare regression gate (including a
+# negative test that a synthetic breach exits nonzero). Artifacts
+# (server log, metrics scrape, load reports, trace store dump) land in
+# $SMOKE_DIR for CI to upload on failure.
 #
 # Requires: jq, curl.
 set -euo pipefail
@@ -55,8 +60,10 @@ wait_healthy() {
 
 # --- main server: cache, coalescing, metrics, trace assertions ------
 # -trace-sample 1 keeps every request's trace so the gates below see a
-# fully populated store.
+# fully populated store; -runtime-sample 250ms makes the runtime bridge
+# publish within the smoke's lifetime.
 ./bin/csserve -addr "127.0.0.1:$PORT" -flight 4096 -trace-sample 1 \
+  -runtime-sample 250ms \
   2>"$SMOKE_DIR/server.log" >"$SMOKE_DIR/server.out" &
 SERVER_PID=$!
 wait_healthy "$PORT"
@@ -102,6 +109,19 @@ grep -q '^# EOF$' "$SMOKE_DIR/metrics-openmetrics.txt"
 grep -Eq 'cs_http_request_duration_ms_bucket\{[^}]*\} [0-9]+ # \{trace_id="[0-9a-f]{32}"\}' \
   "$SMOKE_DIR/metrics-openmetrics.txt"
 
+echo "serve-smoke: runtime/metrics bridge series in the scrape"
+# The bridge samples every 250ms, so by now the gauges and the
+# delta-published cumulative counters must all be in the exposition.
+grep -q '^cs_runtime_goroutines ' "$SMOKE_DIR/metrics.txt"
+grep -q '^cs_runtime_heap_live_bytes ' "$SMOKE_DIR/metrics.txt"
+grep -q '^cs_runtime_gc_cycles_total ' "$SMOKE_DIR/metrics.txt"
+grep -q '^cs_runtime_alloc_bytes_total ' "$SMOKE_DIR/metrics.txt"
+grep -q 'cs_runtime_gc_pause_ms{quantile="0.99"}' "$SMOKE_DIR/metrics.txt"
+grep -q 'cs_runtime_sched_latency_ms{quantile="0.5"}' "$SMOKE_DIR/metrics.txt"
+# The load waves allocated: the alloc-throughput counter is nonzero.
+awk '$1 == "cs_runtime_alloc_objects_total" { n = $2 }
+     END { exit (n > 0 ? 0 : 1) }' "$SMOKE_DIR/metrics.txt"
+
 echo "serve-smoke: trace store and latency attribution"
 curl -sf "http://127.0.0.1:$PORT/debug/traces?limit=200" >"$SMOKE_DIR/traces.json"
 jq -e '.traces | length >= 1' "$SMOKE_DIR/traces.json"
@@ -116,12 +136,56 @@ jq -e 'all(.traces[];
 # Cold estimates did real work: some trace accounts compute time.
 jq -e '[.traces[] | select((.breakdown.compute_ms // 0) > 0)] | length >= 1' \
   "$SMOKE_DIR/traces.json"
+# Per-phase allocation attribution: at least one stored trace carries a
+# phase with a nonzero alloc delta, and the record-level totals equal
+# the sum over the serving-path phases (nested instrumentation spans
+# like "mc" are reported per-phase but excluded from the rollup).
+jq -e '[.traces[] | select([.phases[]? | .alloc_objects // 0] | add > 0)]
+  | length >= 1' "$SMOKE_DIR/traces.json"
+jq -e 'all(.traces[];
+  (.alloc_objects // 0) == ([.phases[]?
+    | select(.name == "queue" or .name == "cache"
+             or .name == "coalesce" or .name == "compute")
+    | .alloc_objects // 0] | add // 0))' "$SMOKE_DIR/traces.json"
+
+echo "serve-smoke: SLO burn-rate report"
+curl -sf "http://127.0.0.1:$PORT/debug/slo" >"$SMOKE_DIR/slo.json"
+jq -e '.availability_objective > 0 and .availability_objective < 1' "$SMOKE_DIR/slo.json"
+jq -e '.windows | length >= 1' "$SMOKE_DIR/slo.json"
+# The load waves were all 2xx: requests counted, burn rates well-formed
+# and quiet (healthz polling is excluded from the SLI, so the counts
+# reflect plan/estimate traffic only).
+jq -e '.total.requests >= 1 and .total.errors == 0' "$SMOKE_DIR/slo.json"
+jq -e 'all(.windows[]; .error_burn_rate >= 0 and .latency_burn_rate >= 0)' \
+  "$SMOKE_DIR/slo.json"
+# All four burn-rate alert pairs are present; with zero errors the
+# availability pairs must be quiet. (The latency pairs may legitimately
+# fire: the heavy Monte-Carlo estimates exceed the default 250ms
+# threshold, which is the alert doing its job.)
+jq -e '.alerts | length == 4 and all(.[]; .burn_threshold > 0)' "$SMOKE_DIR/slo.json"
+jq -e 'all(.alerts[] | select(.sli == "availability"); .firing == false)' \
+  "$SMOKE_DIR/slo.json"
+
+echo "serve-smoke: delta heap profile"
+# Also forces two GC cycles, so the healthz gate below can demand a
+# nonzero gc_cycles even on a fast machine.
+curl -sf "http://127.0.0.1:$PORT/debug/delta/heap?seconds=0.2&top=5" \
+  >"$SMOKE_DIR/delta-heap.json"
+jq -e '.mode == "heap" and .seconds == 0.2 and (.stacks | type == "array")' \
+  "$SMOKE_DIR/delta-heap.json"
 
 echo "serve-smoke: healthz diagnostics"
 curl -sf "http://127.0.0.1:$PORT/v1/healthz" >"$SMOKE_DIR/healthz.json"
 jq -e '.version != "" and (.go_version | startswith("go")) and .num_cpu >= 1' \
   "$SMOKE_DIR/healthz.json"
 jq -e '.plan_cache.per_shard | length >= 1' "$SMOKE_DIR/healthz.json"
+# The runtime block: GC accounting (the delta profile above forced
+# cycles), live heap numbers, and a quiet leak watchdog.
+jq -e '.runtime.gc_cycles >= 1 and .runtime.gc_pause_total_ms > 0' \
+  "$SMOKE_DIR/healthz.json"
+jq -e '.runtime.heap_alloc_bytes > 0 and .runtime.num_goroutine >= 1' \
+  "$SMOKE_DIR/healthz.json"
+jq -e '.runtime.goroutine_leak_suspected == false' "$SMOKE_DIR/healthz.json"
 
 echo "serve-smoke: graceful drain"
 kill -TERM "$SERVER_PID"
@@ -147,5 +211,33 @@ jq -e '.waves[0].status | keys - ["200", "429"] == []' "$SMOKE_DIR/load-burst.js
 kill -TERM "$BURST_PID"
 wait "$BURST_PID"
 BURST_PID=""
+
+# --- perf-history regression gate: deterministic file-vs-file --------
+echo "serve-smoke: csbench -compare pass/breach exit codes"
+$GO build -o bin/csbench ./cmd/csbench
+cat >"$SMOKE_DIR/perf-base.json" <<'EOF'
+{"suite":"smoke","go_version":"go0.0","runs":1,"benchmarks":[
+  {"name":"hot/path","ns_per_op_min":1000,"ns_per_op_median":1100,
+   "allocs_per_op_min":4,"allocs_per_op_median":4}]}
+EOF
+cat >"$SMOKE_DIR/perf-breach.json" <<'EOF'
+{"suite":"smoke","go_version":"go0.0","runs":1,"benchmarks":[
+  {"name":"hot/path","ns_per_op_min":9000,"ns_per_op_median":9900,
+   "allocs_per_op_min":4,"allocs_per_op_median":4}]}
+EOF
+# Identical baseline and candidate must pass with a clean diff artifact.
+./bin/csbench -compare "$SMOKE_DIR/perf-base.json" \
+  -against "$SMOKE_DIR/perf-base.json" \
+  -compare-out "$SMOKE_DIR/perf-diff-ok.json" >/dev/null
+jq -e '.regressed == false and .breaches == 0' "$SMOKE_DIR/perf-diff-ok.json"
+# A 9x ns/op regression must breach the budget and exit nonzero.
+if ./bin/csbench -compare "$SMOKE_DIR/perf-base.json" \
+  -against "$SMOKE_DIR/perf-breach.json" \
+  -compare-out "$SMOKE_DIR/perf-diff-breach.json" >/dev/null; then
+  echo "serve-smoke: csbench -compare passed a 9x regression" >&2
+  exit 1
+fi
+jq -e '.regressed == true and .breaches == 1' "$SMOKE_DIR/perf-diff-breach.json"
+jq -e '.deltas[0].ns_breach == true' "$SMOKE_DIR/perf-diff-breach.json"
 
 echo "serve-smoke: OK"
