@@ -21,6 +21,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sched"
+	"repro/internal/serve"
 )
 
 // perfSchedule mirrors the nowsim bench schedule: 64 shrinking periods,
@@ -155,6 +156,10 @@ func perfBenchmarks() ([]string, map[string]func(n int) error) {
 		"sink/chrome-emit",
 		"span/start-end",
 		"hdr/observe",
+		"hotpath/engine-reuse",
+		"hotpath/expected-work",
+		"hotpath/gradient-into",
+		"hotpath/cache-hit",
 	}
 	sample := obs.Event{Time: 1.5, Worker: 3, Kind: "commit", Period: 2, Length: 4.5, Tasks: 7}
 	suite := map[string]func(n int) error{
@@ -247,6 +252,57 @@ func perfBenchmarks() ([]string, map[string]func(n int) error) {
 			var h obs.QuantileHist
 			for i := 0; i < n; i++ {
 				h.Observe(float64(i%1000) + 0.5)
+			}
+			return nil
+		},
+		// The hotpath/* entries pin the //cs:hotpath allocation budgets
+		// (see the AllocsPerRun tests next to each root): their
+		// committed allocs/op floors are ~0, so any steady-state
+		// allocation creeping back breaches -compare immediately.
+		"hotpath/engine-reuse": func(n int) error {
+			var eng nowsim.Engine
+			nop := func() {}
+			for i := 0; i < n; i++ {
+				eng.After(1, nop)
+				eng.Step()
+			}
+			return nil
+		},
+		"hotpath/expected-work": func(n int) error {
+			u, err := lifefn.NewUniform(2000)
+			if err != nil {
+				return err
+			}
+			// Box into the interface once, outside the measured loop —
+			// re-boxing a concrete life per call is itself the
+			// allocation pattern hotalloc flags.
+			var l lifefn.Life = u
+			sink := 0.0
+			for i := 0; i < n; i++ {
+				sink += sched.ExpectedWork(perfSchedule, l, perfOverhead)
+			}
+			_ = sink
+			return nil
+		},
+		"hotpath/gradient-into": func(n int) error {
+			u, err := lifefn.NewUniform(2000)
+			if err != nil {
+				return err
+			}
+			var l lifefn.Life = u
+			buf := make([]float64, perfSchedule.Len())
+			for i := 0; i < n; i++ {
+				buf = sched.GradientInto(buf, perfSchedule, l, perfOverhead)
+			}
+			return nil
+		},
+		"hotpath/cache-hit": func(n int) error {
+			c := serve.NewCache(256, 8, serve.CacheMetrics{})
+			c.Put("hot-key", 42)
+			for i := 0; i < n; i++ {
+				if _, ok := c.Get("hot-key"); !ok {
+					return fmt.Errorf("cache miss on resident key")
+				}
 			}
 			return nil
 		},

@@ -325,6 +325,50 @@ func TestBaseline(t *testing.T) {
 	}
 }
 
+// TestBaselinePortableAcrossCwd: diagnostic paths are anchored at the
+// enclosing go.mod, not the invocation directory, so a baseline
+// recorded at the module root suppresses the same findings when cslint
+// runs from a subdirectory.
+func TestBaselinePortableAcrossCwd(t *testing.T) {
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module tmpmod\n\ngo 1.22\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(root, "sub"), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	src := "package sub\n\n// Same is a deliberate floatcmp finding.\nfunc Same(a, b float64) bool { return a == b }\n"
+	if err := os.WriteFile(filepath.Join(root, "sub", "sub.go"), []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	// A plain run from the subdirectory reports the module-root-relative
+	// path, not one relative to the invocation directory.
+	code, out, errout := runLint(t, filepath.Join(root, "sub"), "./...")
+	if code != 1 {
+		t.Fatalf("subdir run exit = %d, want 1\nstdout: %s\nstderr: %s", code, out, errout)
+	}
+	if want := filepath.Join("sub", "sub.go"); !strings.Contains(out, want) {
+		t.Errorf("subdir run did not report %s-anchored path:\n%s", want, out)
+	}
+
+	// Baseline recorded at the module root...
+	bl := filepath.Join(root, "lint-baseline.json")
+	code, out, errout = runLint(t, root, "-baseline", bl, "-write-baseline", "./...")
+	if code != 0 {
+		t.Fatalf("-write-baseline exit = %d, want 0\nstdout: %s\nstderr: %s", code, out, errout)
+	}
+
+	// ...suppresses the same finding when applied from the subdirectory.
+	code, out, _ = runLint(t, filepath.Join(root, "sub"), "-baseline", bl, "./...")
+	if code != 0 {
+		t.Fatalf("baselined subdir run exit = %d, want 0\n%s", code, out)
+	}
+	if out != "" {
+		t.Errorf("baselined subdir run still reported findings:\n%s", out)
+	}
+}
+
 func TestAnalyzerToggle(t *testing.T) {
 	// Disabling both triggered analyzers must turn the dirty fixture clean.
 	code, out, _ := runLint(t, filepath.Join("testdata", "dirty"),
@@ -416,5 +460,18 @@ func TestVettool(t *testing.T) {
 		t.Errorf("go vet -vettool on facts fixture exited 0 (vetx facts not propagated?)\n%s", out)
 	} else if !strings.Contains(out, "hides a raw work subtraction") {
 		t.Errorf("go vet -vettool output missing the interprocedural finding:\n%s", out)
+	}
+	// The hotfacts fixture fires only if hotalloc allocation-site facts
+	// and lockorder lock summaries both cross package boundaries
+	// through the same .vetx channel.
+	if code, out := vet(filepath.Join("testdata", "hotfacts")); code == 0 {
+		t.Errorf("go vet -vettool on hotfacts fixture exited 0 (vetx facts not propagated?)\n%s", out)
+	} else {
+		if !strings.Contains(out, "reaches dep.Fill") || !strings.Contains(out, "[hotalloc]") {
+			t.Errorf("go vet -vettool output missing the cross-package hotalloc finding:\n%s", out)
+		}
+		if !strings.Contains(out, "lock-order cycle") || !strings.Contains(out, "[lockorder]") {
+			t.Errorf("go vet -vettool output missing the cross-package lockorder finding:\n%s", out)
+		}
 	}
 }

@@ -1,0 +1,26 @@
+// Package dep is the helper side of the vettool facts fixture: its
+// allocation site and its param-relative lock edge reach the hot
+// package only if hotalloc and lockorder facts round-trip through the
+// .vetx files cmd/go passes between per-package invocations.
+package dep
+
+import "sync"
+
+// Fill builds a fresh buffer — an allocation a hot path must not
+// reach.
+func Fill(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+// LockPair locks its arguments in argument order; the exported summary
+// carries the param:0 -> param:1 edge importers instantiate.
+func LockPair(first, second *sync.Mutex) {
+	first.Lock()
+	second.Lock()
+	second.Unlock()
+	first.Unlock()
+}

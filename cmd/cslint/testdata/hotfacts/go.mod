@@ -1,0 +1,3 @@
+module hotfacts
+
+go 1.22

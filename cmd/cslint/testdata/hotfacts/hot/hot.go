@@ -1,0 +1,34 @@
+// Package hot is the importing side of the vettool facts fixture: both
+// findings below depend on dep's exported facts.
+package hot
+
+import (
+	"sync"
+
+	"hotfacts/dep"
+)
+
+// Trial is a hot-path root that transitively reaches dep.Fill's
+// allocation.
+//
+//cs:hotpath vet-trial
+func Trial(n int) float64 {
+	xs := dep.Fill(n)
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// World carries two mutexes handed to dep.LockPair in both orders.
+type World struct {
+	a, b sync.Mutex
+}
+
+// Crossed closes a lock-order cycle through dep.LockPair's
+// param-relative summary.
+func Crossed(w *World) {
+	dep.LockPair(&w.a, &w.b)
+	dep.LockPair(&w.b, &w.a)
+}

@@ -1,0 +1,47 @@
+package callgraph_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+)
+
+// FuzzParseHotpathDirective pins the //cs:hotpath grammar: parsing
+// never panics, and an accepted payload round-trips through the
+// canonical render — parse(render(parse(p))) is identical — so the
+// annotation a gofmt'd file carries is exactly the annotation the
+// analyzer saw.
+func FuzzParseHotpathDirective(f *testing.F) {
+	f.Add("")
+	f.Add("episode-loop")
+	f.Add("mc.trial/body_2")
+	f.Add("two tokens")
+	f.Add("-leading-dash")
+	f.Add("label\twith\ttabs")
+	f.Add("Ünïcode")
+	f.Fuzz(func(t *testing.T, payload string) {
+		annot, err := callgraph.ParseHotpathDirective(payload)
+		if err != nil {
+			return
+		}
+		text := "//" + annot.String()
+		d, ok := analysis.ParseCSDirective(text)
+		if !ok || d.Name != "hotpath" {
+			t.Fatalf("canonical render %q does not rescan as a hotpath directive", text)
+		}
+		back, err := callgraph.ParseHotpathDirective(d.Payload)
+		if err != nil {
+			t.Fatalf("canonical payload %q rejected: %v", d.Payload, err)
+		}
+		if back != annot {
+			t.Fatalf("round trip: %+v -> %q -> %+v", annot, text, back)
+		}
+		// An accepted label never smuggles in whitespace (which would
+		// re-tokenize) or a '*' (which could close a /* */ comment).
+		if strings.ContainsAny(annot.Label, " \t\n\r*") {
+			t.Fatalf("accepted label %q contains scanner metacharacters", annot.Label)
+		}
+	})
+}

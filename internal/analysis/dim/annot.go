@@ -5,6 +5,8 @@ import (
 	"go/token"
 	"go/types"
 	"strings"
+
+	"repro/internal/analysis"
 )
 
 // A BadAnnot is one malformed //cs:unit annotation; the unitflow
@@ -16,20 +18,15 @@ type BadAnnot struct {
 }
 
 // unitRest extracts the payload of a cs:unit comment line: the text
-// after the marker, "" and false when c is not an annotation.
+// after the marker, "" and false when c is not an annotation. The
+// shared cs: scanner rejects cs:unitary and similar near-misses
+// because the selector must match exactly.
 func unitRest(c *ast.Comment) (string, bool) {
-	text := strings.TrimPrefix(c.Text, "//")
-	text = strings.TrimPrefix(text, "/*")
-	text = strings.TrimSuffix(text, "*/")
-	text = strings.TrimSpace(text)
-	if !strings.HasPrefix(text, "cs:unit") {
+	d, ok := analysis.CommentDirective(c)
+	if !ok || d.Name != "unit" {
 		return "", false
 	}
-	rest := strings.TrimPrefix(text, "cs:unit")
-	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-		return "", false // cs:unitary or similar
-	}
-	return strings.TrimSpace(rest), true
+	return d.Payload, true
 }
 
 // groupRest returns the first cs:unit payload in a comment group.

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// A Directive is one parsed //cs:<name> source annotation. The cs:
+// namespace is shared by every analyzer-facing grammar in the suite —
+// //cs:unit (dimension signatures, see internal/analysis/dim) and
+// //cs:hotpath (allocation-budget roots, see
+// internal/analysis/callgraph) — so the scanner lives here, next to
+// the lint:allow scanner, and each grammar only parses its payload.
+type Directive struct {
+	// Name is the directive selector: the identifier immediately after
+	// the "cs:" marker ("unit", "hotpath", ...).
+	Name string
+	// Payload is the trimmed text after the selector; "" for a bare
+	// directive.
+	Payload string
+}
+
+// String renders the canonical single-line form of the directive,
+// without the comment marker: "cs:name payload". Parsing the render of
+// a parsed directive yields the directive back (the round-trip the
+// fuzz harness pins).
+func (d Directive) String() string {
+	if d.Payload == "" {
+		return "cs:" + d.Name
+	}
+	return "cs:" + d.Name + " " + d.Payload
+}
+
+// ParseCSDirective parses the raw text of one comment (including its
+// // or /* */ markers) as a cs: directive. It returns false for
+// comments that are not directives at all; a comment that is a
+// directive but has an empty or malformed selector ("//cs:",
+// "//cs:9x") also returns false — selector grammars are expected to
+// look the comment up by prefix and report it, which is what keeps
+// typos like //cs:unitary from silently disabling checking.
+func ParseCSDirective(text string) (Directive, bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimPrefix(text, "/*")
+	// Trim block-comment terminators to a fixpoint so no accepted
+	// payload ends in "*/" — which keeps the canonical String form a
+	// fixpoint of this scanner (the round trip the fuzz harness pins).
+	for {
+		trimmed := strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+		if trimmed == text {
+			break
+		}
+		text = trimmed
+	}
+	if !strings.HasPrefix(text, "cs:") {
+		return Directive{}, false
+	}
+	rest := strings.TrimPrefix(text, "cs:")
+	cut := len(rest)
+	for i := 0; i < len(rest); i++ {
+		if rest[i] == ' ' || rest[i] == '\t' {
+			cut = i
+			break
+		}
+	}
+	name, payload := rest[:cut], strings.TrimSpace(rest[cut:])
+	if !validSelector(name) {
+		return Directive{}, false
+	}
+	return Directive{Name: name, Payload: payload}, true
+}
+
+// validSelector reports whether name is a well-formed directive
+// selector: a nonempty run of lowercase letters. Uppercase and digits
+// are rejected on purpose — every grammar in the suite is a plain
+// lowercase word, and a narrow selector charset keeps "cs:Unit" or
+// "cs:2x" visible as the typos they are (via each grammar's
+// prefix-match diagnostics) instead of parsing as novel directives.
+func validSelector(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		if name[i] < 'a' || name[i] > 'z' {
+			return false
+		}
+	}
+	return true
+}
+
+// CommentDirective extracts the cs: directive from an AST comment.
+func CommentDirective(c *ast.Comment) (Directive, bool) {
+	return ParseCSDirective(c.Text)
+}
+
+// GroupDirective returns the first cs:<name> directive in a comment
+// group whose selector is name, with its position.
+func GroupDirective(g *ast.CommentGroup, name string) (Directive, *ast.Comment, bool) {
+	if g == nil {
+		return Directive{}, nil, false
+	}
+	for _, c := range g.List {
+		if d, ok := CommentDirective(c); ok && d.Name == name {
+			return d, c, true
+		}
+	}
+	return Directive{}, nil, false
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseCSDirective(t *testing.T) {
+	cases := []struct {
+		text    string
+		name    string
+		payload string
+		ok      bool
+	}{
+		{"//cs:unit time", "unit", "time", true},
+		{"// cs:unit t=time return=work", "unit", "t=time return=work", true},
+		{"/* cs:hotpath episode */", "hotpath", "episode", true},
+		{"//cs:hotpath", "hotpath", "", true},
+		{"//cs:hotpath\tlabel", "hotpath", "label", true},
+		{"// plain comment", "", "", false},
+		{"//cs:", "", "", false},
+		{"//cs:Unit time", "", "", false},
+		{"//cs:9x", "", "", false},
+		{"//lint:allow hotalloc reason", "", "", false},
+	}
+	for _, c := range cases {
+		d, ok := ParseCSDirective(c.text)
+		if ok != c.ok || d.Name != c.name || d.Payload != c.payload {
+			t.Errorf("ParseCSDirective(%q) = %+v, %v; want {%s %s}, %v",
+				c.text, d, ok, c.name, c.payload, c.ok)
+		}
+	}
+}
+
+// FuzzParseCSDirective pins the shared //cs: scanner: no panics, and
+// every accepted directive round-trips through its canonical String
+// form — the selector/payload split is a fixpoint of the scanner.
+func FuzzParseCSDirective(f *testing.F) {
+	f.Add("//cs:unit time")
+	f.Add("// cs:unit t=time c=time return=work")
+	f.Add("/* cs:hotpath episode-loop */")
+	f.Add("//cs:hotpath")
+	f.Add("//cs:unitary nope")
+	f.Add("//cs: hanging")
+	f.Add("//not a directive")
+	f.Add("//cs:a b")
+	f.Fuzz(func(t *testing.T, text string) {
+		d, ok := ParseCSDirective(text)
+		if !ok {
+			return
+		}
+		if d.Name == "" || strings.ContainsAny(d.Name, " \t") {
+			t.Fatalf("accepted selector %q is not a single token", d.Name)
+		}
+		canon := "//" + d.String()
+		d2, ok := ParseCSDirective(canon)
+		if !ok {
+			t.Fatalf("canonical form %q rejected", canon)
+		}
+		if d2 != d {
+			t.Fatalf("round trip: %+v -> %q -> %+v", d, canon, d2)
+		}
+	})
+}

@@ -188,10 +188,13 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer, opts stand
 		}
 		all = append(all, findings...)
 	}
-	// Paths in output and baselines are repo-relative so baselines are
-	// portable across checkouts.
+	// Paths in output and baselines are repo-root-relative — anchored
+	// at the enclosing go.mod, not the invocation directory — so a
+	// baseline written at the root suppresses the same findings when
+	// cslint runs from any subdirectory of the checkout.
+	root := load.ModuleRoot(dir)
 	for i := range all {
-		if rel, err := filepath.Rel(dir, all[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		if rel, err := filepath.Rel(root, all[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 			all[i].Pos.Filename = rel
 		}
 	}

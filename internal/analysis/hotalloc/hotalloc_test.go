@@ -1,0 +1,17 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hotalloc"
+)
+
+// TestHotAlloc runs the analyzer over a three-package fixture: the hot
+// root (hotroot), a transitively-reached allocating helper (hotdep)
+// and a suppressed helper (hotallow) live in different packages, so
+// the session's fact store carries both the call-graph edges and the
+// allocation summaries across the boundaries.
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hotalloc.Analyzer, "hotdep", "hotallow", "hotroot")
+}

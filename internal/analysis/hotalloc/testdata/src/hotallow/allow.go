@@ -1,0 +1,11 @@
+// Package hotallow is the fixture's justified-allocation dependency:
+// its only allocation site carries a //lint:allow suppression. The
+// suppression is applied before the package's summary is exported, so
+// an importing hot package never re-reports the site.
+package hotallow
+
+// Scratch returns a caller-owned scratch buffer; the allocation is the
+// caller's explicit request, amortized by s[:0] reuse.
+func Scratch(n int) []float64 {
+	return make([]float64, n) //lint:allow hotalloc caller-owned buffer, reused across periods
+}

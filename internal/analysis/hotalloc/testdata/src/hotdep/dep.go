@@ -1,0 +1,16 @@
+// Package hotdep is the fixture's transitively-reached dependency: it
+// allocates, carries no annotation of its own, and is reported only
+// from the importing package's hot root — via the allocation summary
+// this package exports as facts. No findings land here (the package
+// declares no //cs:hotpath roots).
+package hotdep
+
+// Fill returns a fresh buffer of n samples — an allocation every
+// caller inherits.
+func Fill(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+package hotroot
+
+/* cs:hotpath two tokens */ // want `malformed //cs:hotpath annotation: want at most one label, got 2 tokens`
+func Noisy()                {}
+
+// Cold allocates freely, but no root reaches it: no finding.
+func Cold(n int) []float64 {
+	out := make([]float64, n)
+	return out
+}
+
+// Setup allocates on the hot path deliberately; the local suppression
+// keeps it silent.
+//
+//cs:hotpath
+func Setup(n int) {
+	buf := make([]float64, n) //lint:allow hotalloc cold-start setup, runs once per episode
+	for i := range buf {
+		buf[i] = 0
+	}
+	sink = buf
+}
+
+var sink []float64
+
+func floating() {
+	/* cs:hotpath */ // want `malformed //cs:hotpath annotation: cs:hotpath must sit in a function declaration's doc comment`
+}

@@ -1,0 +1,52 @@
+// Package hotroot is the golden fixture's hot package: a //cs:hotpath
+// root whose reachable set crosses two package boundaries (an
+// allocating dependency and a suppressed one).
+package hotroot
+
+import (
+	"fmt"
+
+	"hotallow"
+	"hotdep"
+)
+
+// Trial is the fixture's Monte-Carlo-style inner loop: everything it
+// reaches is held to the zero-allocation budget.
+//
+//cs:hotpath trial
+func Trial(xs []float64, weights map[string]float64) float64 {
+	var acc []float64
+	sum := 0.0
+	window := make([]float64, 4)
+	tmp := make([]float64, 0, 8)
+	square := func(v float64) float64 { return v * v }
+	for _, x := range xs {
+		acc = append(acc, x) // want `hot path "trial": append may grow acc \(no provable capacity\)`
+		tmp = append(tmp, x)
+		window[0] = x
+		sum += square(x) + window[0]
+	}
+	for name, w := range weights { // want `hot path "trial": map iteration \(hash-order walk\) on the hot path`
+		if w < 0 {
+			fmt.Println("negative weight", name) // want `hot path "trial": fmt\.Println allocates \(formats through interfaces\)`
+		}
+		sum += w
+	}
+	probes := make([]func() float64, 0, 4)
+	for i := range xs {
+		probes = append(probes, func() float64 { return xs[i] }) // want `hot path "trial": closure captures a loop variable \(allocates per iteration\)`
+	}
+	for _, p := range probes {
+		sum += p()
+	}
+	var trace interface{}
+	trace = sum // want `hot path "trial": sum boxed into interface\{\}`
+	_ = trace
+	seed := hotdep.Fill(len(xs)) // want `hot path "trial": call chain hotroot\.Trial -> hotdep\.Fill reaches hotdep\.Fill, which allocates: make\(\[\]float64, n\) allocates at dep\.go:\d+`
+	scratch := hotallow.Scratch(16)
+	scratch = scratch[:0]
+	for _, s := range seed {
+		scratch = append(scratch, s)
+	}
+	return sum + float64(len(scratch))
+}

@@ -114,6 +114,18 @@ func (c Config) Load(patterns ...string) ([]*Package, error) {
 	return pkgs, nil
 }
 
+// ModuleRoot walks up from dir looking for go.mod and returns the
+// enclosing module's root directory, or dir itself when no module is
+// found. Drivers anchor diagnostic and baseline paths here, so a
+// baseline written at the repo root suppresses the same findings no
+// matter which subdirectory cslint is invoked from.
+func ModuleRoot(dir string) string {
+	if root, _ := findModule(dir); root != "" {
+		return root
+	}
+	return dir
+}
+
 // findModule walks up from dir looking for go.mod and returns the
 // module root and module path ("", "" when there is none).
 func findModule(dir string) (root, path string) {

@@ -1,0 +1,73 @@
+package lockorder
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// FactsNamespace keys lockorder's per-function locking summaries in an
+// analysis.Session (and therefore in vetx facts files).
+const FactsNamespace = "lockorder"
+
+// An Edge is one observed acquisition ordering: To was acquired at Pos
+// (base "file.go:line") while From was held, inside function Fn.
+type Edge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Pos  string `json:"pos"`
+	Fn   string `json:"fn"`
+}
+
+// A Summary is one function's exported locking behavior: the lock
+// identities it may (transitively) acquire, and the order edges its
+// body establishes — both instantiated through call sites, with
+// "param:N" identities left relative to the function's own normalized
+// parameters for callers to instantiate.
+type Summary struct {
+	Acquires []string `json:"acquires,omitempty"`
+	Edges    []Edge   `json:"edges,omitempty"`
+}
+
+// Summaries maps a function's full name to its summary — the
+// per-package facts payload.
+type Summaries map[string]Summary
+
+// Encode packs summaries deterministically (sorted function names;
+// Acquires and Edges are sorted by the builder).
+func (s Summaries) Encode() ([]byte, error) {
+	names := make([]string, 0, len(s))
+	for name := range s {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type entry struct {
+		Name    string  `json:"name"`
+		Summary Summary `json:"summary"`
+	}
+	entries := make([]entry, 0, len(names))
+	for _, name := range names {
+		entries = append(entries, entry{name, s[name]})
+	}
+	return json.Marshal(entries)
+}
+
+// DecodeSummaries unpacks a facts blob produced by Encode. A nil or
+// empty blob yields an empty map.
+func DecodeSummaries(data []byte) (Summaries, error) {
+	out := make(Summaries)
+	if len(data) == 0 {
+		return out, nil
+	}
+	var entries []struct {
+		Name    string  `json:"name"`
+		Summary Summary `json:"summary"`
+	}
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("lockorder: decoding summaries: %v", err)
+	}
+	for _, e := range entries {
+		out[e.Name] = e.Summary
+	}
+	return out, nil
+}

@@ -1,0 +1,503 @@
+// Package lockorder verifies lock discipline across the analyzed
+// package set: a consistent global acquisition order (no cycles in the
+// lock-order graph) and release on every path (no Lock without a
+// dominating Unlock or defer). The simulator's serving path takes
+// mutexes in several layers — cache shard, coalescing flight group,
+// stats — and the paper's recurrence only holds when a stolen period's
+// critical sections are short and deadlock-free; an inversion between
+// two of those locks is a hang that strikes exactly when a workstation
+// reclaim and a cache fill race, the least reproducible moment
+// available.
+//
+// The analyzer builds per-function summaries (see locks.go for the
+// identity scheme and the may-held CFG scan), composes them through
+// the callgraph package's resolved call edges — static calls and
+// CHA-resolved interface calls alike — and exports the composed
+// summaries as session facts, so the order graph spans package
+// boundaries the same way hotalloc's reachability does. A cycle is
+// reported once, anchored at the first local acquisition that
+// completes it, with the full witness chain (who acquires what while
+// holding what, and where) in the message; an unbalanced Lock is
+// reported at the acquisition.
+//
+// # Soundness caveats
+//
+// Identity is type-based: every instance of type T shares the lock
+// "pkg.T.mu". Hand-over-hand locking of same-typed nodes therefore
+// reads as a self-inversion — suppress with //lint:allow lockorder and
+// a reason. Calls through plain function values are invisible (the
+// callgraph has no edge), goroutine bodies hold their own lock sets,
+// and a conditional defer counts as releasing on every path (the cfg
+// package's standard over-approximation). Mutexes the scan cannot
+// name — locals, map or slice elements — are not tracked at all.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/flow"
+)
+
+// Name is the analyzer's name, the token //lint:allow suppressions
+// use.
+const Name = "lockorder"
+
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc:  "verify lock acquisition order (cycle-free across packages) and release on every path",
+	Run:  run,
+}
+
+// maxComposeRounds bounds the local fixpoint; identities are drawn
+// from a finite program-text universe, so this is a backstop, not a
+// tuning knob.
+const maxComposeRounds = 32
+
+type fnState struct {
+	fi       *flow.FuncInfo
+	acquires map[string]bool
+	edges    []localEdge
+	edgeSeen map[localEdge]bool
+	scan     scanResult
+}
+
+type info struct {
+	// order preserves flow's source declaration order for deterministic
+	// reporting.
+	order    []string
+	local    map[string]*fnState
+	balance  []balanceFinding
+	imported map[string]Summaries
+}
+
+type balanceFinding struct {
+	id  string
+	pos token.Pos
+}
+
+func infoOf(pass *analysis.Pass) (*info, error) {
+	v, err := pass.Shared(Name, func() (interface{}, error) {
+		return build(pass)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*info), nil
+}
+
+func build(pass *analysis.Pass) (*info, error) {
+	g, err := callgraph.Of(pass)
+	if err != nil {
+		return nil, err
+	}
+	in := &info{
+		local:    make(map[string]*fnState),
+		imported: make(map[string]Summaries),
+	}
+	sup := analysis.CollectSuppressions(pass.Fset, pass.Files)
+
+	// Scan every local function, resolving its call sites through the
+	// callgraph (CHA included) so composition follows the same edges
+	// reachability does.
+	for _, fi := range g.Flow.Funcs {
+		name := fi.Obj.FullName()
+		byCall := make(map[*ast.CallExpr][]calleeAt)
+		edges := g.Out(name, "")
+		sort.SliceStable(edges, func(i, j int) bool { return edges[i].To < edges[j].To })
+		for _, e := range edges {
+			if e.Site != nil {
+				byCall[e.Site.Call] = append(byCall[e.Site.Call], calleeAt{name: e.To, site: e.Site})
+			}
+		}
+		st := &fnState{
+			fi:       fi,
+			acquires: make(map[string]bool),
+			edgeSeen: make(map[localEdge]bool),
+			scan:     scanFunc(pass, fi, byCall),
+		}
+		for id := range st.scan.acquires {
+			st.acquires[id] = true
+		}
+		for _, e := range st.scan.edges {
+			st.addEdge(e)
+		}
+		in.order = append(in.order, name)
+		in.local[name] = st
+
+		for id, pos := range st.scan.exitHeld {
+			if st.scan.deferred[id] {
+				continue
+			}
+			if sup.Allowed(pass.Fset, pos, Name) {
+				continue
+			}
+			in.balance = append(in.balance, balanceFinding{id: id, pos: pos})
+		}
+	}
+	sort.Slice(in.balance, func(i, j int) bool { return in.balance[i].pos < in.balance[j].pos })
+
+	// Compose: instantiate callee summaries at each call site until the
+	// acquire sets and edge sets stop growing.
+	for round := 0; round < maxComposeRounds; round++ {
+		changed := false
+		for _, name := range in.order {
+			st := in.local[name]
+			for _, obs := range st.scan.calls {
+				cs := in.summaryOf(pass, obs.callee)
+				var instAcq []string
+				for _, a := range cs.acq {
+					if ia := instantiate(pass, st.fi, obs, a); ia != "" {
+						instAcq = append(instAcq, ia)
+					}
+				}
+				for _, a := range instAcq {
+					if !st.acquires[a] {
+						st.acquires[a] = true
+						changed = true
+					}
+					for _, h := range obs.held {
+						if h != a && st.addEdge(localEdge{h, a, obs.pos}) {
+							changed = true
+						}
+					}
+				}
+				for _, e := range cs.paramEdges() {
+					from := instantiate(pass, st.fi, obs, e.From)
+					to := instantiate(pass, st.fi, obs, e.To)
+					if from == "" || to == "" || from == to {
+						continue
+					}
+					if st.addEdge(localEdge{from, to, obs.pos}) {
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Export composed summaries as facts.
+	out := make(Summaries, len(in.local))
+	for _, name := range in.order {
+		st := in.local[name]
+		s := Summary{Acquires: sortedSet(st.acquires)}
+		for _, e := range st.edges {
+			s.Edges = append(s.Edges, Edge{
+				From: e.from, To: e.to,
+				Pos: shortPos(pass.Fset, e.pos), Fn: name,
+			})
+		}
+		sort.Slice(s.Edges, func(i, j int) bool {
+			a, b := s.Edges[i], s.Edges[j]
+			if a.From != b.From {
+				return a.From < b.From
+			}
+			if a.To != b.To {
+				return a.To < b.To
+			}
+			return a.Pos < b.Pos
+		})
+		if len(s.Acquires) == 0 && len(s.Edges) == 0 {
+			continue
+		}
+		out[name] = s
+	}
+	data, err := out.Encode()
+	if err != nil {
+		return nil, err
+	}
+	pass.ExportFacts(FactsNamespace, data)
+	return in, nil
+}
+
+func (st *fnState) addEdge(e localEdge) bool {
+	if st.edgeSeen[e] {
+		return false
+	}
+	st.edgeSeen[e] = true
+	st.edges = append(st.edges, e)
+	return true
+}
+
+// calleeSummary is the composition view of a callee: its (possibly
+// param-relative) acquire set and its order edges.
+type calleeSummary struct {
+	acq   []string
+	edges []Edge
+}
+
+// paramEdges returns the callee edges with at least one param-relative
+// endpoint — the only ones a caller must instantiate into its own
+// summary (fully concrete callee edges enter the global graph through
+// the callee itself).
+func (c calleeSummary) paramEdges() []Edge {
+	var out []Edge
+	for _, e := range c.edges {
+		if isParam(e.From) || isParam(e.To) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func (in *info) summaryOf(pass *analysis.Pass, name string) calleeSummary {
+	if st, ok := in.local[name]; ok {
+		var edges []Edge
+		for _, e := range st.edges {
+			edges = append(edges, Edge{From: e.from, To: e.to})
+		}
+		return calleeSummary{acq: sortedSet(st.acquires), edges: edges}
+	}
+	path := callgraph.PkgPathOf(name)
+	if path == "" || path == pass.Pkg.Path() {
+		return calleeSummary{}
+	}
+	sums, ok := in.imported[path]
+	if !ok {
+		var err error
+		sums, err = DecodeSummaries(pass.Facts(path, FactsNamespace))
+		if err != nil {
+			sums = Summaries{}
+		}
+		in.imported[path] = sums
+	}
+	s := sums[name]
+	return calleeSummary{acq: s.Acquires, edges: s.Edges}
+}
+
+func isParam(id string) bool { return strings.HasPrefix(id, "param:") }
+
+// instantiate maps a callee identity into the caller's namespace:
+// concrete identities pass through, "param:N" resolves to the identity
+// of the argument at normalized index N (which may itself be a
+// parameter of the caller, composing through wrappers).
+func instantiate(pass *analysis.Pass, fi *flow.FuncInfo, obs callObs, id string) string {
+	if !isParam(id) {
+		return id
+	}
+	n, err := strconv.Atoi(id[len("param:"):])
+	if err != nil || obs.site == nil {
+		return ""
+	}
+	arg := obs.site.ArgExpr(n)
+	if arg == nil {
+		return ""
+	}
+	return exprID(pass.TypesInfo, fi, arg)
+}
+
+// --- reporting ---------------------------------------------------------
+
+// A gEdge is one edge of the assembled cross-package order graph.
+type gEdge struct {
+	to, fn, pos string
+}
+
+func run(pass *analysis.Pass) error {
+	in, err := infoOf(pass)
+	if err != nil {
+		return err
+	}
+	for _, b := range in.balance {
+		pass.Reportf(b.pos, "%s may be held on return (no unlock or defer on some path)", short(b.id))
+	}
+
+	adj := in.globalGraph(pass)
+	sup := analysis.CollectSuppressions(pass.Fset, pass.Files)
+	seen := make(map[string]bool)
+	for _, name := range in.order {
+		st := in.local[name]
+		for _, e := range st.edges {
+			if isParam(e.from) || isParam(e.to) {
+				continue
+			}
+			if sup.Allowed(pass.Fset, e.pos, Name) {
+				continue
+			}
+			path := bfsPath(adj, e.to, e.from)
+			if path == nil {
+				continue
+			}
+			key := cycleKey(e, path)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			parts := []string{short(e.from), short(e.to) + " (here)"}
+			for _, h := range path {
+				parts = append(parts, short(h.to)+" (in "+short(h.fn)+" at "+h.pos+")")
+			}
+			pass.Reportf(e.pos, "lock-order cycle: %s", strings.Join(parts, " -> "))
+		}
+	}
+	return nil
+}
+
+// globalGraph unions the order edges of every local function with
+// those in the facts of every package in the import closure, keyed by
+// concrete lock identity.
+func (in *info) globalGraph(pass *analysis.Pass) map[string][]gEdge {
+	type keyed struct {
+		from string
+		e    gEdge
+	}
+	var all []keyed
+	for _, name := range in.order {
+		st := in.local[name]
+		for _, e := range st.edges {
+			if isParam(e.from) || isParam(e.to) {
+				continue
+			}
+			all = append(all, keyed{e.from, gEdge{to: e.to, fn: name, pos: shortPos(pass.Fset, e.pos)}})
+		}
+	}
+	for _, path := range importClosure(pass.Pkg) {
+		sums, err := DecodeSummaries(pass.Facts(path, FactsNamespace))
+		if err != nil {
+			continue
+		}
+		fnames := make([]string, 0, len(sums))
+		for fname := range sums {
+			fnames = append(fnames, fname)
+		}
+		sort.Strings(fnames)
+		for _, fname := range fnames {
+			for _, e := range sums[fname].Edges {
+				if isParam(e.From) || isParam(e.To) {
+					continue
+				}
+				all = append(all, keyed{e.From, gEdge{to: e.To, fn: e.Fn, pos: e.Pos}})
+			}
+		}
+	}
+	adj := make(map[string][]gEdge)
+	dedup := make(map[string]bool)
+	for _, k := range all {
+		dk := k.from + "\x00" + k.e.to
+		if dedup[dk] {
+			continue
+		}
+		dedup[dk] = true
+		adj[k.from] = append(adj[k.from], k.e)
+	}
+	for from := range adj {
+		es := adj[from]
+		sort.Slice(es, func(i, j int) bool { return es[i].to < es[j].to })
+	}
+	return adj
+}
+
+// importClosure lists the import paths reachable from pkg, sorted.
+func importClosure(pkg *types.Package) []string {
+	seen := make(map[string]bool)
+	var out []string
+	var walk func(pkgs []*types.Package)
+	walk = func(pkgs []*types.Package) {
+		for _, p := range pkgs {
+			if seen[p.Path()] {
+				continue
+			}
+			seen[p.Path()] = true
+			out = append(out, p.Path())
+			walk(p.Imports())
+		}
+	}
+	walk(pkg.Imports())
+	sort.Strings(out)
+	return out
+}
+
+// A hop is one step of a BFS witness path.
+type hop struct {
+	to, fn, pos string
+}
+
+// bfsPath finds the shortest edge path from src to dst in adj, nil
+// when unreachable. Neighbor order is deterministic (sorted).
+func bfsPath(adj map[string][]gEdge, src, dst string) []hop {
+	type parentEdge struct {
+		from string
+		e    gEdge
+	}
+	parent := map[string]parentEdge{src: {}}
+	queue := []string{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[cur] {
+			if _, ok := parent[e.to]; ok {
+				continue
+			}
+			parent[e.to] = parentEdge{from: cur, e: e}
+			if e.to == dst {
+				var rev []hop
+				for n := dst; n != src; {
+					pe := parent[n]
+					rev = append(rev, hop{to: pe.e.to, fn: pe.e.fn, pos: pe.e.pos})
+					n = pe.from
+				}
+				out := make([]hop, 0, len(rev))
+				for i := len(rev) - 1; i >= 0; i-- {
+					out = append(out, rev[i])
+				}
+				return out
+			}
+			queue = append(queue, e.to)
+		}
+	}
+	return nil
+}
+
+// cycleKey canonicalizes the set of locks on a cycle so each cycle is
+// reported once regardless of which edge anchors it.
+func cycleKey(e localEdge, path []hop) string {
+	ids := map[string]bool{e.from: true, e.to: true}
+	for _, h := range path {
+		ids[h.to] = true
+	}
+	return strings.Join(sortedSet(ids), "\x00")
+}
+
+// short compresses a lock or function identity for diagnostics:
+// package path down to its base, receiver parens kept.
+func short(id string) string {
+	if strings.HasPrefix(id, "(") {
+		if i := strings.Index(id, ")"); i >= 0 {
+			inner, rest := id[1:i], id[i+1:]
+			star := ""
+			if strings.HasPrefix(inner, "*") {
+				star, inner = "*", inner[1:]
+			}
+			return "(" + star + baseOf(inner) + ")" + rest
+		}
+	}
+	return baseOf(id)
+}
+
+func baseOf(s string) string {
+	if i := strings.LastIndex(s, "/"); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}
+
+func sortedSet(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,16 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockorder"
+)
+
+// TestLockOrder runs the analyzer over a two-package fixture: the
+// helper package's summaries (one concrete edge, one param-relative)
+// cross the boundary as facts and are instantiated at the analyzed
+// package's call sites.
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer, "locka", "lockmain")
+}

@@ -1,0 +1,418 @@
+package lockorder
+
+// Lock identity and the per-function acquisition scan.
+//
+// A lock's identity is type-based: x.mu names "pkg.T.mu" for any x of
+// named type T, an embedded sync.Mutex promoted through t.Lock() names
+// "pkg.T.Mutex", and a package-level mutex names "pkg.varname". A
+// mutex reached through a parameter (or receiver) of the function gets
+// the relative identity "param:N" (normalized index, receiver first),
+// which callers instantiate with the identity of the argument they
+// pass — the flow engine's CallSite.ArgExpr supplies the expression.
+// A mutex the scan cannot name (a local variable, an element of a
+// collection) is skipped entirely: unnamed locks contribute neither
+// edges nor balance findings.
+//
+// The scan itself is a forward may-held dataflow over the function's
+// CFG: the state maps held identities to their earliest acquisition
+// position, joined by union at merges. Lock/RLock adds to the state
+// (recording an order edge from every lock already held), and
+// Unlock/RUnlock removes; TryLock and TryRLock are ignored (their
+// acquisition is conditional on the return value, which the lattice
+// does not track). Deferred and go'd calls are skipped during the body
+// walk — a deferred unlock releases at function exit, where the
+// balance check credits it against whatever the exit state still
+// holds.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/dataflow"
+	"repro/internal/analysis/flow"
+)
+
+type lockOp int
+
+const (
+	opNone lockOp = iota
+	opAcquire
+	opRelease
+)
+
+// mutexOp classifies a call as a sync.Mutex / sync.RWMutex operation,
+// returning the receiver selector for identity resolution.
+func mutexOp(info *types.Info, call *ast.CallExpr) (lockOp, *ast.SelectorExpr) {
+	fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return opNone, nil
+	}
+	fn, _ := info.Uses[fun.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return opNone, nil
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return opNone, nil
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return opNone, nil
+	}
+	if n := named.Obj().Name(); n != "Mutex" && n != "RWMutex" {
+		return opNone, nil
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return opAcquire, fun
+	case "Unlock", "RUnlock":
+		return opRelease, fun
+	}
+	return opNone, nil
+}
+
+// shortPos renders "file.go:line" with the base filename, stable
+// across checkout roots (facts strings must not embed absolute paths).
+func shortPos(fset *token.FileSet, p token.Pos) string {
+	pos := fset.Position(p)
+	name := pos.Filename
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '/' {
+			name = name[i+1:]
+			break
+		}
+	}
+	return name + ":" + strconv.Itoa(pos.Line)
+}
+
+func deref(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+func namedID(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// lockID names the mutex a Lock/Unlock selector operates on. For a
+// promoted method (t.Lock() with an embedded Mutex) the identity walks
+// the embedding path; otherwise it is the identity of the receiver
+// expression.
+func lockID(info *types.Info, fi *flow.FuncInfo, sel *ast.SelectorExpr) string {
+	if s, ok := info.Selections[sel]; ok && len(s.Index()) > 1 {
+		named, ok := deref(info.TypeOf(sel.X)).(*types.Named)
+		if !ok {
+			return ""
+		}
+		id := namedID(named)
+		if id == "" {
+			return ""
+		}
+		cur := named.Underlying()
+		for _, idx := range s.Index()[:len(s.Index())-1] {
+			st, ok := cur.(*types.Struct)
+			if !ok || idx >= st.NumFields() {
+				return ""
+			}
+			f := st.Field(idx)
+			id += "." + f.Name()
+			cur = deref(f.Type()).Underlying()
+		}
+		return id
+	}
+	return exprID(info, fi, sel.X)
+}
+
+// exprID names the mutex an expression denotes: "pkg.T.field" for a
+// field of a named type, "pkg.varname" for a package-level variable,
+// "param:N" for a parameter or receiver of fi, "" when unnameable.
+func exprID(info *types.Info, fi *flow.FuncInfo, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return exprID(info, fi, e.X)
+		}
+	case *ast.StarExpr:
+		return exprID(info, fi, e.X)
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+				if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil {
+					return v.Pkg().Path() + "." + v.Name()
+				}
+				return ""
+			}
+		}
+		v, ok := info.Uses[e.Sel].(*types.Var)
+		if !ok || !v.IsField() {
+			return ""
+		}
+		named, ok := deref(info.TypeOf(e.X)).(*types.Named)
+		if !ok {
+			return ""
+		}
+		if id := namedID(named); id != "" {
+			return id + "." + e.Sel.Name
+		}
+	case *ast.Ident:
+		var v *types.Var
+		if u, ok := info.Uses[e].(*types.Var); ok {
+			v = u
+		} else if d, ok := info.Defs[e].(*types.Var); ok {
+			v = d
+		}
+		if v == nil {
+			return ""
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		for i, p := range fi.Params {
+			if p == v {
+				return "param:" + strconv.Itoa(i)
+			}
+		}
+	}
+	return ""
+}
+
+// heldMap is the dataflow state: held lock identity -> earliest
+// acquisition position on any path.
+type heldMap map[string]token.Pos
+
+type heldLattice struct{}
+
+func (heldLattice) Bottom() heldMap { return nil }
+
+func (heldLattice) Join(a, b heldMap) heldMap {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make(heldMap, len(a)+len(b))
+	for id, p := range a {
+		out[id] = p
+	}
+	for id, p := range b {
+		if cur, ok := out[id]; !ok || p < cur {
+			out[id] = p
+		}
+	}
+	return out
+}
+
+func (heldLattice) Equal(a, b heldMap) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for id, p := range a {
+		if q, ok := b[id]; !ok || q != p {
+			return false
+		}
+	}
+	return true
+}
+
+func (heldLattice) Widen(prev, next heldMap) heldMap { return next }
+
+// A localEdge is one order edge observed in (or instantiated into) a
+// local function, carrying its real position for reporting.
+type localEdge struct {
+	from, to string
+	pos      token.Pos
+}
+
+// A callObs is one call made to a summarized function, with the locks
+// held at the site; the site supplies argument expressions for
+// instantiating the callee's param-relative identities.
+type callObs struct {
+	callee string
+	site   *flow.CallSite
+	held   []string // sorted identities held at the call
+	pos    token.Pos
+}
+
+// scanResult is the per-function output of the CFG scan.
+type scanResult struct {
+	acquires map[string]token.Pos // direct acquisitions (earliest pos)
+	edges    []localEdge          // direct order edges, source order
+	calls    []callObs            // composition obligations, source order
+	exitHeld heldMap              // may-held at function exit
+	deferred map[string]bool      // identities released by defer
+}
+
+// scanner drives one function's scan.
+type scanner struct {
+	pass *analysis.Pass
+	fi   *flow.FuncInfo
+	// callees maps local call expressions to their resolved callees
+	// (several for CHA-expanded interface calls), with the site.
+	callees map[*ast.CallExpr][]calleeAt
+
+	res      scanResult
+	edgeSeen map[localEdge]bool
+}
+
+type calleeAt struct {
+	name string
+	site *flow.CallSite
+}
+
+func scanFunc(pass *analysis.Pass, fi *flow.FuncInfo, callees map[*ast.CallExpr][]calleeAt) scanResult {
+	sc := &scanner{
+		pass:    pass,
+		fi:      fi,
+		callees: callees,
+		res: scanResult{
+			acquires: make(map[string]token.Pos),
+			deferred: make(map[string]bool),
+		},
+		edgeSeen: make(map[localEdge]bool),
+	}
+	g := cfg.Build(fi.Decl.Body)
+	res, err := dataflow.Forward(g, dataflow.Problem[heldMap]{
+		Lattice: heldLattice{},
+		Entry:   heldMap{},
+		Transfer: func(b *cfg.Block, in heldMap) heldMap {
+			env := in
+			for _, n := range b.Nodes {
+				env = sc.step(env, n, false)
+			}
+			return env
+		},
+	})
+	if err != nil {
+		return sc.res // no CFG refinement: stay silent rather than guess
+	}
+	for _, b := range g.Blocks {
+		env := res.In[b]
+		for _, n := range b.Nodes {
+			env = sc.step(env, n, true)
+		}
+	}
+	sc.res.exitHeld = res.In[g.Exit]
+	for _, d := range g.Defers {
+		if op, sel := mutexOp(sc.pass.TypesInfo, d.Call); op == opRelease {
+			if id := lockID(sc.pass.TypesInfo, fi, sel); id != "" {
+				sc.res.deferred[id] = true
+			}
+		}
+	}
+	return sc.res
+}
+
+// step interprets one CFG node: mutex operations update the held set;
+// when emit is set (the post-fixpoint replay), edges and call
+// observations are recorded.
+func (sc *scanner) step(held heldMap, n ast.Node, emit bool) heldMap {
+	if rh, ok := n.(*cfg.RangeHeader); ok {
+		n = rh.Range.X
+	}
+	info := sc.pass.TypesInfo
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n.(type) {
+		// Literal bodies run elsewhere; deferred calls run at exit (the
+		// balance check credits them); go'd calls run on another
+		// goroutine with its own held set.
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch op, sel := mutexOp(info, call); op {
+		case opAcquire:
+			id := lockID(info, sc.fi, sel)
+			if id == "" {
+				return true
+			}
+			if emit {
+				for h := range held {
+					if h != id {
+						sc.addEdge(localEdge{h, id, call.Pos()})
+					}
+				}
+				if _, ok := sc.res.acquires[id]; !ok {
+					sc.res.acquires[id] = call.Pos()
+				}
+			}
+			if _, ok := held[id]; !ok {
+				next := make(heldMap, len(held)+1)
+				for k, v := range held {
+					next[k] = v
+				}
+				next[id] = call.Pos()
+				held = next
+			}
+		case opRelease:
+			id := lockID(info, sc.fi, sel)
+			if id == "" {
+				return true
+			}
+			if _, ok := held[id]; ok {
+				next := make(heldMap, len(held))
+				for k, v := range held {
+					if k != id {
+						next[k] = v
+					}
+				}
+				held = next
+			}
+		default:
+			if !emit {
+				return true
+			}
+			for _, ca := range sc.callees[call] {
+				sc.res.calls = append(sc.res.calls, callObs{
+					callee: ca.name,
+					site:   ca.site,
+					held:   sortedIDs(held),
+					pos:    call.Pos(),
+				})
+			}
+		}
+		return true
+	})
+	return held
+}
+
+func (sc *scanner) addEdge(e localEdge) {
+	if sc.edgeSeen[e] {
+		return
+	}
+	sc.edgeSeen[e] = true
+	sc.res.edges = append(sc.res.edges, e)
+}
+
+func sortedIDs(held heldMap) []string {
+	if len(held) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(held))
+	for id := range held {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,32 @@
+// Package locka is the fixture dependency: its exported summaries
+// carry both a concrete order edge (Pair.A before Pair.B) and a
+// param-relative one (Grab locks its arguments in argument order),
+// which importers instantiate at their call sites. The package itself
+// is clean: every path releases what it takes, and no cycle closes
+// locally.
+package locka
+
+import "sync"
+
+// Pair carries two mutexes with a canonical A-then-B order.
+type Pair struct {
+	A, B sync.Mutex
+	n    int
+}
+
+// LockBoth acquires in the canonical order.
+func LockBoth(p *Pair) {
+	p.A.Lock()
+	defer p.A.Unlock()
+	p.B.Lock()
+	defer p.B.Unlock()
+	p.n++
+}
+
+// Grab acquires two caller-chosen locks in argument order.
+func Grab(first, second *sync.Mutex) {
+	first.Lock()
+	second.Lock()
+	second.Unlock()
+	first.Unlock()
+}

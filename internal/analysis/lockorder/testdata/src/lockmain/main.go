@@ -1,0 +1,129 @@
+// Package lockmain is the fixture's analyzed package: two in-package
+// inversions (one direct, one composed through locka.Grab's
+// param-relative summary), one leaked lock, and a set of disciplined
+// patterns that must stay silent.
+package lockmain
+
+import (
+	"sync"
+
+	"locka"
+)
+
+// Server takes mu before stats on its canonical path.
+type Server struct {
+	mu    sync.Mutex
+	stats sync.Mutex
+	n     int
+}
+
+// Update establishes the canonical order mu -> stats. The cycle with
+// Report below is anchored here: this acquisition of stats is the
+// first local edge (in declaration order) that completes it.
+func (s *Server) Update() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Lock() // want `lock-order cycle: lockmain\.Server\.mu -> lockmain\.Server\.stats \(here\) -> lockmain\.Server\.mu \(in \(\*lockmain\.Server\)\.Report at main\.go:\d+\)`
+	s.n++
+	s.stats.Unlock()
+}
+
+// Report acquires in the reverse order: the inversion.
+func (s *Server) Report() int {
+	s.stats.Lock()
+	defer s.stats.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// SameOrder repeats the canonical order; the cycle it participates in
+// is already reported at Update's anchor, so it stays silent.
+func (s *Server) SameOrder() {
+	s.mu.Lock()
+	s.stats.Lock()
+	s.stats.Unlock()
+	s.mu.Unlock()
+}
+
+// Leak forgets the unlock on the early-return path.
+func (s *Server) Leak(fail bool) bool {
+	s.mu.Lock() // want `lockmain\.Server\.mu may be held on return \(no unlock or defer on some path\)`
+	if fail {
+		return false
+	}
+	s.mu.Unlock()
+	return true
+}
+
+// Hold intentionally returns with the lock held; callers pair it with
+// Release.
+func (s *Server) Hold() {
+	s.mu.Lock() //lint:allow lockorder intentionally returns held; paired with Release
+}
+
+// Release is Hold's counterpart.
+func (s *Server) Release() {
+	s.mu.Unlock()
+}
+
+// World carries two mutexes handed to locka.Grab.
+type World struct {
+	a, b sync.Mutex
+}
+
+// Crossed calls the helper with both argument orders: instantiating
+// Grab's param:0 -> param:1 edge at each site completes a cycle, again
+// anchored at the first completing edge.
+func Crossed(w *World) {
+	locka.Grab(&w.a, &w.b) // want `lock-order cycle: lockmain\.World\.a -> lockmain\.World\.b \(here\) -> lockmain\.World\.a \(in lockmain\.Crossed at main\.go:\d+\)`
+	locka.Grab(&w.b, &w.a)
+}
+
+// Straight uses the helper consistently: no cycle, no finding.
+func Straight(w *World) {
+	locka.Grab(&w.a, &w.b)
+	locka.Grab(&w.a, &w.b)
+}
+
+// Queue's two locks are always taken head-then-tail: clean.
+type Queue struct {
+	head, tail sync.Mutex
+}
+
+func (q *Queue) Push() {
+	q.head.Lock()
+	defer q.head.Unlock()
+	q.tail.Lock()
+	defer q.tail.Unlock()
+}
+
+func (q *Queue) Pop() {
+	q.head.Lock()
+	defer q.head.Unlock()
+	q.tail.Lock()
+	defer q.tail.Unlock()
+}
+
+// Opportunistic uses TryLock, whose conditional acquisition the
+// analyzer deliberately ignores.
+func (q *Queue) Opportunistic() bool {
+	if q.tail.TryLock() {
+		q.tail.Unlock()
+		return true
+	}
+	return false
+}
+
+// Registry embeds its mutex; the promoted Lock resolves to
+// lockmain.Registry.Mutex and the deferred unlock balances it.
+type Registry struct {
+	sync.Mutex
+	m map[string]int
+}
+
+func (r *Registry) Get(k string) int {
+	r.Lock()
+	defer r.Unlock()
+	return r.m[k]
+}

@@ -11,6 +11,8 @@ import (
 	"repro/internal/analysis/errsink"
 	"repro/internal/analysis/floatcmp"
 	"repro/internal/analysis/goroutinecap"
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/nonnegwork"
 	"repro/internal/analysis/obssafe"
 	"repro/internal/analysis/printlint"
@@ -23,13 +25,17 @@ import (
 // nonnegwork and rngshare analyzers share one interprocedural flow
 // build per package (internal/analysis/flow); unitflow and probrange
 // share one dimension build (internal/analysis/dim) on top of the
-// cfg+dataflow abstract-interpretation engine.
+// cfg+dataflow abstract-interpretation engine; hotalloc and lockorder
+// share one call-graph build (internal/analysis/callgraph) on top of
+// the same flow summaries.
 var All = []*analysis.Analyzer{
 	ctxguard.Analyzer,
 	determinism.Analyzer,
 	errsink.Analyzer,
 	floatcmp.Analyzer,
 	goroutinecap.Analyzer,
+	hotalloc.Analyzer,
+	lockorder.Analyzer,
 	nonnegwork.Analyzer,
 	obssafe.Analyzer,
 	printlint.Analyzer,

@@ -138,9 +138,18 @@ func Run(cfgFile string, analyzers []*analysis.Analyzer, stderr io.Writer) int {
 	}
 
 	// Rehydrate the session from the dependencies' vetx facts files so
-	// interprocedural analyzers see cross-package summaries.
+	// interprocedural analyzers see cross-package summaries. Standard
+	// library facts are deliberately dropped: the standalone driver
+	// never loads the stdlib, so honoring its facts here would let
+	// call-graph analyzers build deeper chains (fmt's handleMethods
+	// reaching every Stringer, container/heap reaching Push) under one
+	// driver but not the other. Both modes treat the stdlib as opaque
+	// and rely on the analyzers' built-in models of it.
 	sess := analysis.NewSession()
 	for path, vetx := range cfg.PackageVetx {
+		if cfg.Standard[path] {
+			continue
+		}
 		blob, err := os.ReadFile(vetx)
 		if err != nil || len(blob) == 0 {
 			// Missing or empty facts degrade gracefully: the flow engine

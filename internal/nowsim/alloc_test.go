@@ -1,0 +1,97 @@
+package nowsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// The engine and episode loops are annotated //cs:hotpath and held to a
+// constant allocation budget; these tests pin the budget at runtime so
+// a regression fails before the linter even runs.
+
+// TestEngineSteadyStateAllocs: once the free list and the inline boot
+// array are primed, a schedule/fire cycle allocates nothing.
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	var eng Engine
+	nop := func() {}
+	// Prime: first events and any queue growth allocate once.
+	eng.After(1, nop)
+	eng.RunAll()
+	avg := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 64; i++ {
+			eng.After(1, nop)
+			eng.Step()
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state schedule/fire cycle allocates %.2f/run, want 0", avg)
+	}
+}
+
+// TestEngineCanceledDrainRecycles: events drained as canceled (by Run's
+// peek loop) return to the free list like fired ones do.
+func TestEngineCanceledDrainRecycles(t *testing.T) {
+	var eng Engine
+	nop := func() {}
+	h := eng.After(1, nop)
+	h.Cancel()
+	eng.RunAll()
+	avg := testing.AllocsPerRun(200, func() {
+		h := eng.After(1, nop)
+		h.Cancel()
+		eng.RunAll()
+	})
+	if avg != 0 {
+		t.Fatalf("schedule/cancel/drain cycle allocates %.2f/run, want 0", avg)
+	}
+}
+
+// TestStaleHandleCancelIsNoOp: a handle to a fired event must not
+// cancel the event's next incarnation after recycling.
+func TestStaleHandleCancelIsNoOp(t *testing.T) {
+	var eng Engine
+	fired := 0
+	h1 := eng.At(1, func() { fired++ })
+	eng.RunAll()
+	if fired != 1 {
+		t.Fatalf("first event fired %d times, want 1", fired)
+	}
+	// This scheduling reuses the recycled event; the stale handle's
+	// generation no longer matches.
+	eng.At(2, func() { fired++ })
+	h1.Cancel()
+	eng.RunAll()
+	if fired != 2 {
+		t.Fatalf("stale Cancel suppressed the recycled event: fired %d times, want 2", fired)
+	}
+}
+
+// TestEpisodeAllocsConstantInPeriods: an episode's allocations must not
+// scale with its period count — the per-period commit closure is
+// hoisted and events are recycled, so a 1024-period episode costs the
+// same handful of allocations as a short one.
+func TestEpisodeAllocsConstantInPeriods(t *testing.T) {
+	periods := make([]float64, 1024)
+	for i := range periods {
+		periods[i] = 2
+	}
+	s, err := sched.New(periods...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := NewSchedulePolicy(s, "alloc-test")
+	var res EpisodeResult
+	avg := testing.AllocsPerRun(100, func() {
+		res = RunEpisode(pol, 0.5, math.Inf(1))
+	})
+	if res.PeriodsCommitted != 1024 {
+		t.Fatalf("episode committed %d periods, want 1024", res.PeriodsCommitted)
+	}
+	// Budget: episode setup (engine state, hoisted closures, owner and
+	// period events) — independent of the 1024 periods played.
+	if avg > 16 {
+		t.Fatalf("1024-period episode allocates %.1f/run, want a period-independent constant <= 16", avg)
+	}
+}

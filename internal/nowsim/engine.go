@@ -33,15 +33,24 @@ type event struct {
 	fn  Action
 	// canceled events stay in the heap but do not fire.
 	canceled bool
+	// gen counts recycles: a Handle cancels only the incarnation it was
+	// issued for, so a stale handle to a reused event is a no-op.
+	gen uint64
+	// next links the engine's free list of fired events.
+	next *event
 }
 
 // Handle cancels a scheduled event.
-type Handle struct{ ev *event }
+type Handle struct {
+	ev  *event
+	gen uint64
+}
 
 // Cancel prevents the event from firing. Canceling an already-fired or
-// already-canceled event is a no-op.
+// already-canceled event is a no-op, even after the engine has recycled
+// the event for a later scheduling.
 func (h Handle) Cancel() {
-	if h.ev != nil {
+	if h.ev != nil && h.ev.gen == h.gen {
 		h.ev.canceled = true
 	}
 }
@@ -70,12 +79,41 @@ func (q *eventQueue) Pop() interface{} {
 }
 
 // Engine is a sequential discrete-event simulation engine. The zero
-// value is ready to use with the clock at 0.
+// value is ready to use with the clock at 0. Fired and canceled events
+// are recycled through a free list, so an episode loop that keeps one
+// period in flight schedules its thousands of events through a single
+// allocation.
 type Engine struct {
 	queue eventQueue
 	now   float64
 	seq   uint64
 	fired uint64
+	// free heads the recycle list of fired/drained events.
+	free *event
+	// boot backs the queue's first entries, so simulations that never
+	// hold more than a handful of pending events never allocate the
+	// heap's backing array either.
+	boot [8]*event
+}
+
+// alloc takes an event from the free list, falling back to the heap.
+func (e *Engine) alloc() *event {
+	if ev := e.free; ev != nil {
+		e.free = ev.next
+		ev.next = nil
+		return ev
+	}
+	return &event{} //lint:allow hotalloc free-list miss: only the high-water mark of in-flight events allocates
+}
+
+// recycle returns a fired or drained-canceled event to the free list,
+// invalidating outstanding handles via the generation counter.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.canceled = false
+	ev.gen++
+	ev.next = e.free
+	e.free = ev
 }
 
 // Now returns the current simulation time.
@@ -95,10 +133,14 @@ func (e *Engine) At(t float64, fn Action) Handle {
 	if t < e.now {
 		panic("nowsim: scheduling event in the past")
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	if e.queue == nil {
+		e.queue = e.boot[:0]
+	}
+	ev := e.alloc()
+	ev.at, ev.seq, ev.fn = t, e.seq, fn
 	e.seq++
 	heap.Push(&e.queue, ev)
-	return Handle{ev}
+	return Handle{ev, ev.gen}
 }
 
 // After schedules fn delay time units from now.
@@ -114,11 +156,16 @@ func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
 		ev := heap.Pop(&e.queue).(*event)
 		if ev.canceled {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
 		e.fired++
-		ev.fn()
+		fn := ev.fn
+		// Recycle before firing so the action's own scheduling reuses
+		// this event; its handle is already invalidated.
+		e.recycle(ev)
+		fn()
 		return true
 	}
 	return false
@@ -131,6 +178,7 @@ func (e *Engine) Run(until float64) {
 		next := e.queue[0]
 		if next.canceled {
 			heap.Pop(&e.queue)
+			e.recycle(next)
 			continue
 		}
 		if next.at > until {

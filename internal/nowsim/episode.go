@@ -36,9 +36,15 @@ type EpisodeResult struct {
 // the period in flight and ends the episode. c is the per-period
 // communication overhead; reclaim is the (externally sampled) time of
 // the owner's return.
+//
+// All closures here are hoisted to episode setup: the per-period steady
+// state schedules the shared commit closure with curT updated in place,
+// which is sound because exactly one period is ever in flight.
+//
+//cs:hotpath episode
 func RunEpisode(policy Policy, c, reclaim float64) EpisodeResult {
 	if c < 0 {
-		panic(fmt.Sprintf("nowsim: negative overhead %g", c))
+		panic(fmt.Sprintf("nowsim: negative overhead %g", c)) //lint:allow hotalloc panic path, never taken in steady state
 	}
 	policy.Reset()
 	var (
@@ -46,7 +52,9 @@ func RunEpisode(policy Policy, c, reclaim float64) EpisodeResult {
 		res   EpisodeResult
 		end   bool
 		owner Handle
+		curT  float64 // length of the single period in flight
 	)
+	//lint:allow hotalloc one closure per episode, not per period
 	ownerBack := func() {
 		// Kills whatever is in flight: the dispatch loop checks `end`
 		// before committing.
@@ -58,6 +66,25 @@ func RunEpisode(policy Policy, c, reclaim float64) EpisodeResult {
 		owner = eng.At(reclaim, ownerBack)
 	}
 	var dispatch func()
+	// commit handles every period's completion: results return to the
+	// coordinator. It reads curT (set by dispatch when the period was
+	// scheduled) before dispatching the next.
+	//lint:allow hotalloc one closure per episode, re-armed each period
+	commit := func() {
+		if end {
+			return
+		}
+		t := curT
+		res.PeriodsCommitted++
+		res.Work += sched.PositiveSub(t, c)
+		if t > c {
+			res.Overhead += c
+		} else {
+			res.Overhead += t
+		}
+		dispatch()
+	}
+	//lint:allow hotalloc one closure per episode, not per period
 	dispatch = func() {
 		if end {
 			return
@@ -74,20 +101,8 @@ func RunEpisode(policy Policy, c, reclaim float64) EpisodeResult {
 		res.PeriodsDispatched++
 		periodEnd := eng.Now() + t
 		if periodEnd < reclaim {
-			// Period completes: results return to the coordinator.
-			eng.At(periodEnd, func() {
-				if end {
-					return
-				}
-				res.PeriodsCommitted++
-				res.Work += sched.PositiveSub(t, c)
-				if t > c {
-					res.Overhead += c
-				} else {
-					res.Overhead += t
-				}
-				dispatch()
-			})
+			curT = t
+			eng.At(periodEnd, commit)
 			return
 		}
 		// The owner returns at or before the period boundary ("if B is
@@ -110,18 +125,25 @@ func RunEpisode(policy Policy, c, reclaim float64) EpisodeResult {
 // than the ≤2% disabled-cost budget even when emit is nil. The two
 // loops must compute identical results for identical inputs; the
 // determinism and recorded-vs-plain regression tests pin that
-// equivalence, so edits to either loop must keep its twin in step.
+// equivalence, so edits to either loop must keep its twin in step —
+// including the closure hoisting: both loops re-arm one shared commit
+// closure per period with curT/curIdx updated in place.
+//
+//cs:hotpath episode-emit
 func runEpisodeEmit(policy Policy, c, reclaim float64, emit func(EpisodeEvent)) EpisodeResult {
 	if c < 0 {
-		panic(fmt.Sprintf("nowsim: negative overhead %g", c))
+		panic(fmt.Sprintf("nowsim: negative overhead %g", c)) //lint:allow hotalloc panic path, never taken in steady state
 	}
 	policy.Reset()
 	var (
-		eng   Engine
-		res   EpisodeResult
-		end   bool
-		owner Handle
+		eng    Engine
+		res    EpisodeResult
+		end    bool
+		owner  Handle
+		curT   float64 // length of the single period in flight
+		curIdx int     // index of the single period in flight
 	)
+	//lint:allow hotalloc one closure per episode, not per period
 	ownerBack := func() {
 		end = true
 		res.Reclaimed = true
@@ -131,6 +153,23 @@ func runEpisodeEmit(policy Policy, c, reclaim float64, emit func(EpisodeEvent)) 
 		owner = eng.At(reclaim, ownerBack)
 	}
 	var dispatch func()
+	//lint:allow hotalloc one closure per episode, re-armed each period
+	commit := func() {
+		if end {
+			return
+		}
+		t, idx := curT, curIdx
+		res.PeriodsCommitted++
+		res.Work += sched.PositiveSub(t, c)
+		if t > c {
+			res.Overhead += c
+		} else {
+			res.Overhead += t
+		}
+		emit(EpisodeEvent{Time: eng.Now(), Kind: EventCommit, Period: idx, Length: t})
+		dispatch()
+	}
+	//lint:allow hotalloc one closure per episode, not per period
 	dispatch = func() {
 		if end {
 			return
@@ -148,23 +187,12 @@ func runEpisodeEmit(policy Policy, c, reclaim float64, emit func(EpisodeEvent)) 
 		emit(EpisodeEvent{Time: eng.Now(), Kind: EventDispatch, Period: idx, Length: t})
 		periodEnd := eng.Now() + t
 		if periodEnd < reclaim {
-			eng.At(periodEnd, func() {
-				if end {
-					return
-				}
-				res.PeriodsCommitted++
-				res.Work += sched.PositiveSub(t, c)
-				if t > c {
-					res.Overhead += c
-				} else {
-					res.Overhead += t
-				}
-				emit(EpisodeEvent{Time: eng.Now(), Kind: EventCommit, Period: idx, Length: t})
-				dispatch()
-			})
+			curT, curIdx = t, idx
+			eng.At(periodEnd, commit)
 			return
 		}
 		res.Lost += sched.PositiveSub(t, c)
+		//lint:allow hotalloc kill closure fires at most once, at episode end
 		eng.At(reclaim, func() {
 			emit(EpisodeEvent{Time: eng.Now(), Kind: EventKill, Period: idx, Length: t})
 		})

@@ -75,8 +75,12 @@ func NewProgressivePolicy(l lifefn.Life, c float64, opt core.PlanOptions) (*Prog
 
 // NextPeriod implements Policy. Planning errors surface as a voluntary
 // stop; the simulator treats them as "no further work dispatched".
+// Re-planning from scratch is this policy's documented per-period cost
+// (it runs a full optimizer pass), so the allocating planner chain is
+// allowed here; the schedule-driven policies keep the episode loop
+// allocation-free.
 func (p *ProgressivePolicy) NextPeriod(elapsed float64) (float64, bool) {
-	t, ok, err := p.prog.NextPeriod()
+	t, ok, err := p.prog.NextPeriod() //lint:allow hotalloc progressive re-planning allocates by design; per-period optimizer pass, not the steady-state episode loop
 	if err != nil || !ok {
 		return 0, false
 	}

@@ -1,0 +1,81 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/lifefn"
+)
+
+// The //cs:hotpath roots in this package are held to a zero-allocation
+// steady state; these tests pin that budget at runtime.
+
+func allocLife(t *testing.T) lifefn.Life {
+	t.Helper()
+	l, err := lifefn.NewUniform(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func allocSchedule(t *testing.T, n int) Schedule {
+	t.Helper()
+	periods := make([]float64, n)
+	for i := range periods {
+		periods[i] = 2
+	}
+	s, err := New(periods...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestExpectedWorkAllocFree: evaluating E(S; p) — the inner loop of
+// every optimizer and of the Monte-Carlo validation — allocates
+// nothing.
+func TestExpectedWorkAllocFree(t *testing.T) {
+	l := allocLife(t)
+	s := allocSchedule(t, 32)
+	var sink float64
+	avg := testing.AllocsPerRun(100, func() {
+		sink = ExpectedWork(s, l, 0.5)
+	})
+	_ = sink
+	if avg != 0 {
+		t.Fatalf("ExpectedWork allocates %.2f/run, want 0", avg)
+	}
+}
+
+// TestGradientIntoAllocFree: with an adequate caller buffer, a
+// gradient evaluation allocates nothing — the buffer doubles as
+// boundary storage, so not even a scratch slice is needed.
+func TestGradientIntoAllocFree(t *testing.T) {
+	l := allocLife(t)
+	s := allocSchedule(t, 32)
+	buf := make([]float64, s.Len())
+	avg := testing.AllocsPerRun(100, func() {
+		buf = GradientInto(buf, s, l, 0.5)
+	})
+	if avg != 0 {
+		t.Fatalf("GradientInto with a reused buffer allocates %.2f/run, want 0", avg)
+	}
+}
+
+// TestGradientIntoMatchesGradient: the in-place boundary trick must
+// reproduce Gradient's values exactly (same Kahan accumulation order).
+func TestGradientIntoMatchesGradient(t *testing.T) {
+	l := allocLife(t)
+	s := allocSchedule(t, 17)
+	want := Gradient(s, l, 0.5)
+	got := GradientInto(make([]float64, 0), s, l, 0.5)
+	if len(got) != len(want) {
+		t.Fatalf("length mismatch: got %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		//lint:allow floatcmp the in-place rewrite must be bit-identical, not merely close
+		if got[i] != want[i] {
+			t.Fatalf("grad[%d] = %g, want %g (must be bit-identical)", i, got[i], want[i])
+		}
+	}
+}

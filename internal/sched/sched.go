@@ -151,10 +151,11 @@ func TimeFor(w, c float64) float64 {
 // the expected committed work of schedule s under life function l with
 // per-period communication overhead c. It panics if c is negative.
 //
+//cs:hotpath expected-work
 //cs:unit c=time return=work
 func ExpectedWork(s Schedule, l lifefn.Life, c float64) float64 {
 	if c < 0 {
-		panic(fmt.Sprintf("sched: negative overhead c=%g", c))
+		panic(fmt.Sprintf("sched: negative overhead c=%g", c)) //lint:allow hotalloc panic path, never taken in steady state
 	}
 	var e numeric.KahanSum
 	var elapsed numeric.KahanSum
@@ -203,16 +204,37 @@ func RealizedWork(s Schedule, c, r float64) float64 {
 //
 //cs:unit c=time
 func Gradient(s Schedule, l lifefn.Life, c float64) []float64 {
+	return GradientInto(nil, s, l, c)
+}
+
+// GradientInto is Gradient writing into grad, which is grown only when
+// its capacity is short: an optimizer iterating on a fixed-length
+// schedule reuses one buffer across all its gradient evaluations. The
+// buffer doubles as boundary storage — the forward pass leaves T_k in
+// grad[k], and the backward pass reads each boundary just before
+// overwriting it — so the steady state allocates nothing at all.
+//
+//cs:hotpath gradient
+//cs:unit c=time
+func GradientInto(grad []float64, s Schedule, l lifefn.Life, c float64) []float64 {
 	m := s.Len()
-	grad := make([]float64, m)
-	bounds := s.Boundaries()
+	if cap(grad) < m {
+		grad = make([]float64, m) //lint:allow hotalloc grows only when the caller's buffer is short
+	}
+	grad = grad[:m]
+	var sum numeric.KahanSum
+	for k, t := range s.periods {
+		sum.Add(t)
+		grad[k] = sum.Value()
+	}
 	// Suffix sums of (t_j - c)·p'(T_j), built back to front.
 	suffix := 0.0
 	for k := m - 1; k >= 0; k-- {
+		bound := grad[k]
 		direct := 0.0
 		if w := PositiveSub(s.periods[k], c); w > 0 {
-			suffix += w * l.Deriv(bounds[k])
-			direct = l.P(bounds[k])
+			suffix += w * l.Deriv(bound)
+			direct = l.P(bound)
 		}
 		grad[k] = direct + suffix
 	}

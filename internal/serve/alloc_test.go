@@ -1,0 +1,21 @@
+package serve
+
+import "testing"
+
+// TestCacheGetHitAllocFree pins the //cs:hotpath budget of the cache
+// hit path at runtime: shard selection, map lookup and the LRU bump
+// must not allocate.
+func TestCacheGetHitAllocFree(t *testing.T) {
+	c := NewCache(64, 4, CacheMetrics{})
+	c.Put("hot-key", 42)
+	var ok bool
+	avg := testing.AllocsPerRun(200, func() {
+		_, ok = c.Get("hot-key")
+	})
+	if !ok {
+		t.Fatal("expected a cache hit")
+	}
+	if avg != 0 {
+		t.Fatalf("cache hit allocates %.2f/run, want 0", avg)
+	}
+}

@@ -78,7 +78,10 @@ func (c *Cache) shard(key string) *cacheShard {
 }
 
 // Get returns the cached value for key and marks it most recently
-// used.
+// used. The hit path is allocation-free: shard selection hashes
+// in place and the entry value is returned without re-boxing.
+//
+//cs:hotpath cache-hit
 func (c *Cache) Get(key string) (any, bool) {
 	if len(c.shards) == 0 {
 		if c.m.Misses != nil {

@@ -39,6 +39,12 @@ func newFlightGroup() *flightGroup {
 // coalesce time, not compute time). When ctx ends before the
 // computation finishes, Do returns ctx's error; if that caller was the
 // last waiter the computation's context is cancelled too.
+//
+// The follower path (joining an in-flight call) is allocation-free;
+// the leader path's allocations are once per computation, amortized
+// over every coalesced caller, and carry hotalloc allowances below.
+//
+//cs:hotpath coalesce
 func (g *flightGroup) Do(ctx context.Context, key string, fn func(context.Context) (any, error)) (v any, shared, leader bool, err error) {
 	g.mu.Lock()
 	if c, ok := g.m[key]; ok {
@@ -54,10 +60,11 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func(context.Contex
 	// it. If the leader's request finishes first, the trace is already
 	// finalized and late phases are dropped — the attribution
 	// invariant (phases <= total) survives leader abandonment.
-	runCtx = obs.ContextWithReqTrace(runCtx, obs.ReqTraceFrom(ctx))
-	c := &flightCall{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	runCtx = obs.ContextWithReqTrace(runCtx, obs.ReqTraceFrom(ctx))         //lint:allow hotalloc leader path: trace propagation happens once per computation
+	c := &flightCall{done: make(chan struct{}), waiters: 1, cancel: cancel} //lint:allow hotalloc leader path: one call record per computation, shared by all coalesced callers
 	g.m[key] = c
 	g.mu.Unlock()
+	//lint:allow hotalloc leader path: one worker goroutine per computation
 	go func() {
 		//lint:allow ctxguard runCtx is group-owned, not the request's: the leader goroutine must outlive an impatient leader, and wait() cancels runCtx when the last waiter leaves
 		v, err := fn(runCtx)
