@@ -5,7 +5,7 @@ GO ?= go
 FUZZTIME ?= 10s
 LOAD_ADDR ?= http://localhost:8080
 
-.PHONY: all build test race vet lint lint-sarif lint-fix-check fmt-check ci bench bench-obs bench-perf bench-compare fuzz-smoke serve-smoke loadtest
+.PHONY: all build test race vet lint lint-sarif lint-fix-check fmt-check ci bench bench-obs bench-perf bench-compare fuzz-smoke serve-smoke cluster-smoke loadtest
 
 all: build
 
@@ -57,13 +57,24 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check vet lint lint-fix-check build race serve-smoke bench-compare
+ci: fmt-check vet lint lint-fix-check build race serve-smoke cluster-smoke bench-compare
 
 # Boot csserve and drive it with csload: cache speedup, coalescing,
 # 429 load shedding, metrics surface and graceful drain, asserted with
 # jq. Artifacts land in serve-smoke-out/ (override with SMOKE_DIR).
 serve-smoke:
 	bash scripts/serve-smoke.sh
+
+# Boot a 3-replica csserve cluster behind csgate and jq-assert the
+# horizontal scaling story for both fill policies: at most one fresh
+# computation per key cluster-wide per wave, warm-wave speedup through
+# the gate, zero non-429 client errors during a rolling replica
+# restart, and a fully warm wave after the restarted replica rejoins.
+# Artifacts land in cluster-smoke-out/<fill>/ (override with
+# CLUSTER_SMOKE_DIR).
+cluster-smoke:
+	FILL=steal bash scripts/cluster-smoke.sh
+	FILL=share bash scripts/cluster-smoke.sh
 
 # Ad-hoc load generation against an already-running csserve
 # (override LOAD_ADDR, e.g. make loadtest LOAD_ADDR=http://host:9000).

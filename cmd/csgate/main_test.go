@@ -1,0 +1,280 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeReplica is a stand-in csserve backend: answers plan/estimate
+// with a stamped payload naming itself, healthz per its mode, and
+// counts the requests it served.
+type fakeReplica struct {
+	name   string
+	srv    *httptest.Server
+	mode   atomic.Int32 // 0 ok, 1 draining (503 everywhere), 2 dead (conn refused)
+	served atomic.Int64
+}
+
+func newFakeReplica(t *testing.T, name string) *fakeReplica {
+	t.Helper()
+	f := &fakeReplica{name: name}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if f.mode.Load() != 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	serve := func(w http.ResponseWriter, r *http.Request) {
+		if f.mode.Load() != 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"draining"}`)
+			return
+		}
+		f.served.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"served_by":%q,"traceparent":%q}`, f.name, r.Header.Get("traceparent"))
+	}
+	mux.HandleFunc("POST /v1/plan", serve)
+	mux.HandleFunc("POST /v1/estimate", serve)
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+// startGate boots runApp on an ephemeral port routing the given
+// replicas and returns the base URL plus a drain func.
+func startGate(t *testing.T, extraArgs []string, replicas ...*fakeReplica) string {
+	t.Helper()
+	urls := make([]string, len(replicas))
+	for i, f := range replicas {
+		urls[i] = f.srv.URL
+	}
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-replicas", strings.Join(urls, ","),
+		"-probe", "-1ms", // deterministic tests: health moves only via forwarding
+		"-grace", "2s",
+	}, extraArgs...)
+	var stdout, stderr bytes.Buffer
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	code := make(chan int, 1)
+	go func() { code <- runApp(args, &stdout, &stderr, ready, stop) }()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("gate never became ready; stderr: %s", stderr.String())
+	}
+	t.Cleanup(func() {
+		close(stop)
+		select {
+		case c := <-code:
+			if c != 0 {
+				t.Errorf("gate exit code = %d; stderr: %s", c, stderr.String())
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("gate never exited")
+		}
+	})
+	return "http://" + addr
+}
+
+type gateReply struct {
+	ServedBy    string `json:"served_by"`
+	Traceparent string `json:"traceparent"`
+	Error       string `json:"error"`
+}
+
+func postPlan(t *testing.T, base, body string) (int, string, gateReply) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/plan", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out gateReply
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding reply: %v", err)
+	}
+	return resp.StatusCode, resp.Header.Get("X-CS-Replica"), out
+}
+
+// Routing is deterministic per key, spreads distinct keys, and
+// canonically equivalent bodies land on one replica.
+func TestGateConsistentRouting(t *testing.T) {
+	reps := []*fakeReplica{
+		newFakeReplica(t, "r0"), newFakeReplica(t, "r1"), newFakeReplica(t, "r2"),
+	}
+	base := startGate(t, nil, reps...)
+
+	// Same key always routes to the same replica.
+	first := ""
+	for i := 0; i < 5; i++ {
+		status, rep, out := postPlan(t, base, `{"life":"uniform","lifespan":450}`)
+		if status != 200 {
+			t.Fatalf("status %d (%s)", status, out.Error)
+		}
+		if out.Traceparent == "" {
+			t.Error("gate did not propagate a traceparent to the replica")
+		}
+		if first == "" {
+			first = rep
+		} else if rep != first {
+			t.Fatalf("request %d routed to %s, earlier ones to %s", i, rep, first)
+		}
+	}
+
+	// Bodies that canonicalize to the same spec share a route: uniform
+	// ignores halflife and d, and lifespan 1000 is the default.
+	routes := map[string]bool{}
+	for _, body := range []string{
+		`{}`,
+		`{"life":"uniform"}`,
+		`{"life":"uniform","lifespan":1000,"halflife":7,"d":5}`,
+	} {
+		_, rep, _ := postPlan(t, base, body)
+		routes[rep] = true
+	}
+	if len(routes) != 1 {
+		t.Errorf("canonically equal bodies hit %d replicas, want 1", len(routes))
+	}
+
+	// Distinct keys spread: with 64 keys over 3 replicas every replica
+	// should see traffic.
+	for i := 0; i < 64; i++ {
+		postPlan(t, base, fmt.Sprintf(`{"life":"uniform","lifespan":%d}`, 100+i))
+	}
+	for _, f := range reps {
+		if f.served.Load() == 0 {
+			t.Errorf("replica %s served nothing across 64 distinct keys", f.name)
+		}
+	}
+}
+
+// A draining (503) replica and a dead replica are routed around with
+// no client-visible error; the reply names the survivor.
+func TestGateFailover(t *testing.T) {
+	reps := []*fakeReplica{
+		newFakeReplica(t, "r0"), newFakeReplica(t, "r1"), newFakeReplica(t, "r2"),
+	}
+	base := startGate(t, nil, reps...)
+
+	byURL := map[string]*fakeReplica{}
+	for _, f := range reps {
+		byURL[f.srv.URL] = f
+	}
+	body := `{"life":"geomdec","halflife":12}`
+	status, owner, _ := postPlan(t, base, body)
+	if status != 200 {
+		t.Fatalf("baseline status %d", status)
+	}
+
+	// Draining owner: 503 passes over to the next preferred replica.
+	byURL[owner].mode.Store(1)
+	status, second, out := postPlan(t, base, body)
+	if status != 200 {
+		t.Fatalf("status %d after owner drained (%s)", status, out.Error)
+	}
+	if second == owner {
+		t.Fatalf("request still routed to draining replica %s", owner)
+	}
+
+	// Dead owner too: close its listener outright.
+	byURL[owner].srv.Close()
+	status, third, out := postPlan(t, base, body)
+	if status != 200 {
+		t.Fatalf("status %d after owner died (%s)", status, out.Error)
+	}
+	if third != second {
+		t.Errorf("failover target moved from %s to %s with no ring change", second, third)
+	}
+
+	// All replicas draining: the gate answers 502 after exhausting the
+	// ring, not a hang and not a raw transport error.
+	for _, f := range reps {
+		f.mode.Store(1)
+	}
+	status, _, out = postPlan(t, base, body)
+	if status != http.StatusBadGateway {
+		t.Fatalf("status %d with whole cluster draining, want 502", status)
+	}
+	if out.Error == "" {
+		t.Error("502 carried no JSON error body")
+	}
+}
+
+// healthz reports the prober's view and degrades with the fleet.
+func TestGateHealthz(t *testing.T) {
+	reps := []*fakeReplica{newFakeReplica(t, "r0"), newFakeReplica(t, "r1")}
+	base := startGate(t, []string{"-probe", "25ms"}, reps...)
+
+	get := func() (int, Healthz) {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h Healthz
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, h
+	}
+
+	status, h := get()
+	if status != 200 || h.Status != "ok" || h.Up != 2 || h.RingSize != 2 || len(h.Replicas) != 2 {
+		t.Fatalf("healthy cluster healthz = %d %+v", status, h)
+	}
+
+	reps[0].mode.Store(1)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		status, h = get()
+		if h.Status == "degraded" || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if status != 200 || h.Status != "degraded" || h.Up != 1 {
+		t.Fatalf("half-drained cluster healthz = %d %+v", status, h)
+	}
+
+	reps[1].mode.Store(1)
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		status, h = get()
+		if h.Status == "unavailable" || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if status != http.StatusServiceUnavailable || h.Status != "unavailable" {
+		t.Fatalf("dead cluster healthz = %d %+v", status, h)
+	}
+}
+
+// Usage errors exit 2 without serving.
+func TestGateUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},                          // missing -replicas
+		{"-replicas", " , "},        // effectively empty
+		{"-bogus"},                  // unknown flag
+		{"-replicas", "x", "extra"}, // positional junk
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want 2; stderr: %s", args, code, stderr.String())
+		}
+	}
+}

@@ -18,9 +18,21 @@
 //	csload -requests 64 -concurrency 16 -distinct 64   # all-distinct cold wave
 //	csload -endpoint estimate -episodes 200000         # Monte-Carlo load
 //	csload -waves 1 -distinct 32 -timeout-ms 50        # burst: expect 429s
+//	csload -targets http://h1:8080,http://h2:8080      # client-side shard map
+//
+// With -targets the load generator is its own front tier: each spec's
+// canonical cache key picks a replica through the same rendezvous ring
+// csgate uses, so a gateless cluster still sees consistent-hash
+// routing. The report then carries per-target request/error counts,
+// and cluster-level dedup counters: fresh (computed from scratch:
+// neither cached, coalesced nor peer-filled), peer_filled, and
+// max_fresh_per_key — in a healthy cluster at most 1 per wave.
 //
 // Exit status: 0 when every request got an HTTP response (any status),
-// 1 when transport errors occurred, 2 on usage errors.
+// 1 when transport errors occurred — including a subset of -targets
+// replicas being unreachable (partial-replica failure: the reachable
+// targets' requests still complete and are still reported), 2 on
+// usage errors.
 package main
 
 import (
@@ -33,14 +45,23 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
+	"repro/internal/serve"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// targetStats is one replica's share of a wave under -targets.
+type targetStats struct {
+	Requests int `json:"requests"`
+	Errors   int `json:"errors"` // transport failures against this target
 }
 
 // waveReport is one wave's aggregate view of the service.
@@ -52,12 +73,17 @@ type waveReport struct {
 	Status          map[string]int `json:"status"`
 	Cached          int            `json:"cached"`
 	Coalesced       int            `json:"coalesced"`
+	PeerFilled      int            `json:"peer_filled"`
+	Fresh           int            `json:"fresh"` // 200s computed from scratch (not cached/coalesced/peer-filled)
+	MaxFreshPerKey  int            `json:"max_fresh_per_key"`
 	WallMS          float64        `json:"wall_ms"`
 	P50MS           float64        `json:"p50_ms"`
 	P99MS           float64        `json:"p99_ms"`
 	MaxMS           float64        `json:"max_ms"`
 	SlowestTraceID  string         `json:"slowest_trace_id,omitempty"`
 	ServerElapsedMS float64        `json:"server_elapsed_ms_total"`
+
+	Targets map[string]*targetStats `json:"targets,omitempty"`
 }
 
 type report struct {
@@ -69,19 +95,21 @@ type report struct {
 
 // result is one request's outcome, written only by its own worker.
 type result struct {
-	status    int // 0 on transport error
-	cached    bool
-	coalesced bool
-	latencyMS float64
-	elapsedMS float64
-	traceID   string
+	status     int // 0 on transport error
+	cached     bool
+	coalesced  bool
+	peerFilled bool
+	latencyMS  float64
+	elapsedMS  float64
+	traceID    string
 }
 
 func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("csload", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr        = fs.String("addr", "http://localhost:8080", "base URL of the csserve instance")
+		addr        = fs.String("addr", "http://localhost:8080", "base URL of the csserve instance (or csgate)")
+		targets     = fs.String("targets", "", "comma-separated replica base URLs; requests shard across them by canonical cache key (overrides -addr)")
 		endpoint    = fs.String("endpoint", "plan", "endpoint to drive: plan or estimate")
 		requests    = fs.Int("requests", 32, "requests per wave")
 		concurrency = fs.Int("concurrency", 8, "concurrent in-flight requests")
@@ -110,10 +138,34 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		*distinct = *requests
 	}
 
+	// The client-side shard map: with -targets each spec's canonical
+	// key picks its replica through the same rendezvous ring csgate
+	// builds, so this load generator and a gate in front of the same
+	// replicas route identically.
+	var ring *cluster.Ring
+	if *targets != "" {
+		var urls []string
+		for _, u := range strings.Split(*targets, ",") {
+			u = strings.TrimSuffix(strings.TrimSpace(u), "/")
+			if u != "" {
+				urls = append(urls, u)
+			}
+		}
+		if len(urls) == 0 {
+			fmt.Fprintln(stderr, "csload: -targets given but contains no URLs")
+			return 2
+		}
+		ring = cluster.NewRing(urls)
+	}
+
 	// Pre-build the request bodies: spec i of a wave varies lifespan by
 	// i mod distinct, so every wave covers the same key set and warm
-	// waves hit the cold wave's cache entries.
+	// waves hit the cold wave's cache entries. Each body's canonical
+	// cache key (the same one the replica derives) labels it for
+	// per-key fresh counting and, under -targets, picks its replica.
 	bodies := make([][]byte, *requests)
+	keys := make([]string, *requests)
+	urls := make([]string, *requests)
 	for i := range bodies {
 		spec := map[string]any{
 			"life":     *life,
@@ -137,13 +189,23 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		bodies[i] = b
+		key, err := canonicalKey(*endpoint, b)
+		if err != nil {
+			fmt.Fprintf(stderr, "csload: generated spec %d does not canonicalize: %v\n", i, err)
+			return 2
+		}
+		keys[i] = key
+		base := *addr
+		if ring != nil {
+			base = ring.Owner(key)
+		}
+		urls[i] = base + "/v1/" + *endpoint
 	}
 
-	url := *addr + "/v1/" + *endpoint
 	client := &http.Client{Timeout: 5 * time.Minute}
 	rep := report{Endpoint: *endpoint}
 	for w := 0; w < *waves; w++ {
-		rep.Waves = append(rep.Waves, runWave(client, url, w+1, bodies, *concurrency))
+		rep.Waves = append(rep.Waves, runWave(client, urls, w+1, bodies, keys, *concurrency, ring != nil))
 	}
 	if n := len(rep.Waves); n >= 2 {
 		cold, warm := rep.Waves[0], rep.Waves[n-1]
@@ -166,10 +228,36 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// runWave fires the bodies at the endpoint over `concurrency` workers.
+// canonicalKey derives a generated body's cache key by the replica's
+// own rules, so the shard map and per-key fresh counting agree with
+// the cluster on key identity.
+func canonicalKey(endpoint string, body []byte) (string, error) {
+	if endpoint == "estimate" {
+		var spec serve.EstimateSpec
+		if err := json.Unmarshal(body, &spec); err != nil {
+			return "", err
+		}
+		norm, err := spec.Canonicalize()
+		if err != nil {
+			return "", err
+		}
+		return norm.Key(), nil
+	}
+	var spec serve.PlanSpec
+	if err := json.Unmarshal(body, &spec); err != nil {
+		return "", err
+	}
+	norm, err := spec.Canonicalize()
+	if err != nil {
+		return "", err
+	}
+	return norm.Key(), nil
+}
+
+// runWave fires the bodies at their URLs over `concurrency` workers.
 // Results land in per-request slots, each written by exactly one
 // worker, so aggregation needs no locks.
-func runWave(client *http.Client, url string, wave int, bodies [][]byte, concurrency int) waveReport {
+func runWave(client *http.Client, urls []string, wave int, bodies [][]byte, keys []string, concurrency int, sharded bool) waveReport {
 	results := make([]result, len(bodies))
 	next := make(chan int)
 	var wg sync.WaitGroup
@@ -179,7 +267,7 @@ func runWave(client *http.Client, url string, wave int, bodies [][]byte, concurr
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i] = doRequest(client, url, bodies[i])
+				results[i] = doRequest(client, urls[i], bodies[i])
 			}
 		}()
 	}
@@ -196,8 +284,25 @@ func runWave(client *http.Client, url string, wave int, bodies [][]byte, concurr
 		Status:   map[string]int{},
 		WallMS:   float64(wall) / float64(time.Millisecond),
 	}
+	if sharded {
+		rep.Targets = map[string]*targetStats{}
+	}
+	freshByKey := map[string]int{}
 	latencies := make([]float64, 0, len(results))
-	for _, r := range results {
+	for i, r := range results {
+		if sharded {
+			target := strings.TrimSuffix(urls[i], "/v1/plan")
+			target = strings.TrimSuffix(target, "/v1/estimate")
+			ts := rep.Targets[target]
+			if ts == nil {
+				ts = &targetStats{}
+				rep.Targets[target] = ts
+			}
+			ts.Requests++
+			if r.status == 0 {
+				ts.Errors++
+			}
+		}
 		// Transport failures (status 0) carry no latency or trace ID;
 		// they count only as errors, so a wave with no HTTP responses
 		// reports max_ms 0 and omits slowest_trace_id instead of
@@ -215,12 +320,28 @@ func runWave(client *http.Client, url string, wave int, bodies [][]byte, concurr
 		if r.status == http.StatusOK {
 			rep.OK++
 			rep.ServerElapsedMS += r.elapsedMS
+			// A fresh computation is one nothing deduplicated: not a
+			// cache hit, not coalesced onto another in-flight request,
+			// not filled from a peer. The per-key max is the cluster's
+			// compute-once invariant made observable: > 1 means two
+			// replicas (or two waves of one replica) paid for the same
+			// question.
+			if !r.cached && !r.coalesced && !r.peerFilled {
+				rep.Fresh++
+				freshByKey[keys[i]]++
+				if freshByKey[keys[i]] > rep.MaxFreshPerKey {
+					rep.MaxFreshPerKey = freshByKey[keys[i]]
+				}
+			}
 		}
 		if r.cached {
 			rep.Cached++
 		}
 		if r.coalesced {
 			rep.Coalesced++
+		}
+		if r.peerFilled {
+			rep.PeerFilled++
 		}
 	}
 	rep.P50MS = quantile(latencies, 0.50)
@@ -245,9 +366,10 @@ func doRequest(client *http.Client, url string, body []byte) result {
 	}
 	defer resp.Body.Close()
 	var payload struct {
-		Cached    bool    `json:"cached"`
-		Coalesced bool    `json:"coalesced"`
-		ElapsedMS float64 `json:"elapsed_ms"`
+		Cached     bool    `json:"cached"`
+		Coalesced  bool    `json:"coalesced"`
+		PeerFilled bool    `json:"peer_filled"`
+		ElapsedMS  float64 `json:"elapsed_ms"`
 	}
 	_ = json.NewDecoder(resp.Body).Decode(&payload)
 	traceID := resp.Header.Get(obs.TraceIDHeader)
@@ -255,12 +377,13 @@ func doRequest(client *http.Client, url string, body []byte) result {
 		traceID = tc.TraceIDString() // older server: still report what we sent
 	}
 	return result{
-		status:    resp.StatusCode,
-		cached:    payload.Cached,
-		coalesced: payload.Coalesced,
-		latencyMS: float64(time.Since(start)) / float64(time.Millisecond),
-		elapsedMS: payload.ElapsedMS,
-		traceID:   traceID,
+		status:     resp.StatusCode,
+		cached:     payload.Cached,
+		coalesced:  payload.Coalesced,
+		peerFilled: payload.PeerFilled,
+		latencyMS:  float64(time.Since(start)) / float64(time.Millisecond),
+		elapsedMS:  payload.ElapsedMS,
+		traceID:    traceID,
 	}
 }
 

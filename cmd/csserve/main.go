@@ -15,6 +15,8 @@
 //	csserve -trace-store 4096 -trace-sample 0.5 -trace-slowest 16
 //	csserve -runtime-sample 10s -leak-limit 0
 //	csserve -slo-target 0.999 -slo-latency-ms 250 -slo-latency-target 0.99
+//	csserve -self http://h1:8080 -peers http://h2:8080,http://h3:8080 \
+//	        -fill steal                  # join a cluster (see csgate)
 //
 // Endpoints: POST /v1/plan, POST /v1/estimate, GET /v1/healthz, plus
 // /metrics, /debug/vars and /debug/pprof from the shared obs mux, and
@@ -32,9 +34,20 @@
 // ?seconds apart — allocation sources or live-heap growth since the
 // last GC, with no restart and no external tooling.
 //
-// SIGTERM or SIGINT drains gracefully: the listener stops accepting,
-// in-flight requests get -grace to finish, then the worker pool is
-// closed. SIGQUIT dumps the flight ring and keeps serving.
+// Clustering: with -self and -peers the replica joins a consistent-
+// hash cluster (fronted by csgate). It mounts the peer protocol
+// (GET /v1/peer/cache/{key}, POST /v1/peer/warm, GET /v1/peer/hot),
+// fills cache misses from peers per -fill (steal pulls on miss, share
+// push-replicates on compute), pulls peers' hot entries for its own
+// arc at startup, and hands its hottest -warm-hot entries to their
+// next owners before exiting — a rolling restart keeps the cluster's
+// working set warm instead of recomputing it.
+//
+// SIGTERM or SIGINT drains gracefully: healthz flips to 503 first (so
+// the csgate prober routes around this replica), the hot working set
+// is handed to peers, then the listener stops accepting, in-flight
+// requests get -grace to finish, and the worker pool is closed.
+// SIGQUIT dumps the flight ring and keeps serving.
 //
 // Exit status: 0 on clean shutdown, 1 on serve failure, 2 on usage
 // errors.
@@ -50,9 +63,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/serve"
 )
@@ -100,6 +115,13 @@ func runApp(argv []string, stdout, stderr io.Writer, ready chan<- string, stop <
 		sloTarget        = fs.Float64("slo-target", 0.999, "availability objective: target fraction of non-5xx responses")
 		sloLatencyMS     = fs.Float64("slo-latency-ms", 250, "latency SLI threshold in milliseconds")
 		sloLatencyTarget = fs.Float64("slo-latency-target", 0.99, "latency objective: target fraction of served responses under -slo-latency-ms")
+
+		self            = fs.String("self", "", "this replica's own base URL in the cluster ring (enables clustering with -peers)")
+		peers           = fs.String("peers", "", "comma-separated base URLs of the other replicas")
+		fill            = fs.String("fill", cluster.FillSteal, "cluster fill policy: steal (pull on miss) or share (push on compute)")
+		peerTimeout     = fs.Duration("peer-timeout", 250*time.Millisecond, "per-attempt peer fetch timeout (a slow peer must stay cheaper than local compute)")
+		peerConcurrency = fs.Int("peer-concurrency", 8, "bound on concurrent outbound peer fetches")
+		warmHot         = fs.Int("warm-hot", 128, "hottest cache entries handed to peers on drain and offered at startup")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -155,8 +177,42 @@ func runApp(argv []string, stdout, stderr io.Writer, ready chan<- string, stop <
 		Version:              version,
 	})
 
+	var node *cluster.Node
+	if *self != "" || *peers != "" {
+		if *self == "" {
+			fmt.Fprintln(stderr, "csserve: -peers requires -self (this replica's own URL in the ring)")
+			return 2
+		}
+		var peerURLs []string
+		for _, u := range strings.Split(*peers, ",") {
+			u = strings.TrimSuffix(strings.TrimSpace(u), "/")
+			if u != "" {
+				peerURLs = append(peerURLs, u)
+			}
+		}
+		var err error
+		node, err = cluster.NewNode(cluster.Config{
+			Self:        strings.TrimSuffix(*self, "/"),
+			Peers:       peerURLs,
+			Fill:        *fill,
+			Timeout:     *peerTimeout,
+			Concurrency: *peerConcurrency,
+			HotN:        *warmHot,
+			Registry:    reg,
+		}, s)
+		if err != nil {
+			fmt.Fprintln(stderr, "csserve:", err)
+			return 2
+		}
+		defer node.Close()
+		s.SetPeers(node)
+	}
+
 	mux := obs.NewMux(reg)
 	s.Routes(mux)
+	if node != nil {
+		node.Routes(mux)
+	}
 	if tracer != nil {
 		mux.Handle("GET /debug/traces", tracer)
 	}
@@ -171,6 +227,19 @@ func runApp(argv []string, stdout, stderr io.Writer, ready chan<- string, stop <
 		return 1
 	}
 	fmt.Fprintf(stderr, "csserve: listening on %s\n", lis.Addr())
+
+	// Warm start before announcing readiness: pull the peers' hot lists
+	// and install the entries this replica owns, so the first wave after
+	// a restart is served from cache instead of recomputed. Bounded by
+	// the per-attempt peer timeout; peers that are down cost one timeout
+	// each and nothing more.
+	if node != nil {
+		warmCtx, cancelWarm := context.WithTimeout(context.Background(), 10*time.Second)
+		if n := node.WarmStart(warmCtx); n > 0 {
+			fmt.Fprintf(stderr, "csserve: warm start installed %d entries from peers\n", n)
+		}
+		cancelWarm()
+	}
 	if ready != nil {
 		ready <- lis.Addr().String()
 	}
@@ -202,6 +271,18 @@ func runApp(argv []string, stdout, stderr io.Writer, ready chan<- string, stop <
 	}
 
 	fmt.Fprintln(stderr, "csserve: draining")
+	// Drain order matters in a cluster: flip healthz to 503 first so
+	// the gate prober routes new traffic around this replica, then hand
+	// the hot working set to the keys' next owners while the listener
+	// still serves in-flight requests, and only then stop accepting.
+	s.BeginDrain()
+	if node != nil {
+		handoffCtx, cancelHandoff := context.WithTimeout(context.Background(), *grace)
+		if n := node.Handoff(handoffCtx); n > 0 {
+			fmt.Fprintf(stderr, "csserve: handed %d hot entries to peers\n", n)
+		}
+		cancelHandoff()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	code := 0

@@ -50,6 +50,7 @@ const (
 	PhaseCoalesce = "coalesce" // waiting on another request's in-flight compute
 	PhaseCompute  = "compute"  // planner recurrence or Monte-Carlo
 	PhaseCache    = "cache"    // LRU lookup, attr "outcome" hit|miss
+	PhasePeer     = "peer"     // cluster peer cache fill, attr "outcome" hit|miss
 )
 
 // ReqTrace is one request's live trace. A nil *ReqTrace is fully
@@ -250,7 +251,7 @@ func (rt *ReqTrace) Finalize(status int) TraceRecord {
 		// instrumentation (the Monte-Carlo "mc" span inside compute)
 		// would double-count its enclosing phase's delta.
 		switch p.Name {
-		case PhaseQueue, PhaseCoalesce, PhaseCompute, PhaseCache:
+		case PhaseQueue, PhaseCoalesce, PhaseCompute, PhaseCache, PhasePeer:
 			rec.AllocObjects += p.AllocObjects
 			rec.AllocBytes += p.AllocBytes
 		}

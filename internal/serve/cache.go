@@ -150,6 +150,49 @@ func (c *Cache) Len() int {
 	return n
 }
 
+// Hottest returns up to n of the most recently used entries as
+// parallel key/value slices — the working set worth handing to peers
+// on drain. Recency is tracked per shard, so the result interleaves
+// shard MRU prefixes round-robin: an approximation of global recency
+// that never requires a cross-shard clock. Empty for a disabled cache.
+func (c *Cache) Hottest(n int) (keys []string, vals []any) {
+	if n <= 0 || len(c.shards) == 0 {
+		return nil, nil
+	}
+	// Snapshot each shard's MRU order under its own lock (keys and
+	// values copied inside it: a concurrent Put may overwrite an
+	// entry's val in place).
+	perShard := make([][]cacheEntry, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.ll.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*cacheEntry)
+			perShard[i] = append(perShard[i], cacheEntry{key: e.key, val: e.val})
+		}
+		s.mu.Unlock()
+	}
+	for depth := 0; len(keys) < n; depth++ {
+		advanced := false
+		for i := range perShard {
+			if depth >= len(perShard[i]) {
+				continue
+			}
+			advanced = true
+			e := &perShard[i][depth]
+			keys = append(keys, e.key)
+			vals = append(vals, e.val)
+			if len(keys) >= n {
+				break
+			}
+		}
+		if !advanced {
+			break
+		}
+	}
+	return keys, vals
+}
+
 // ShardLens returns the per-shard resident entry counts — the skew
 // diagnostic /v1/healthz exposes (a hot shard means hash imbalance or
 // a pathological key distribution). Nil for a disabled cache.

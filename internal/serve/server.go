@@ -108,6 +108,9 @@ type Server struct {
 	planCache *Cache
 	estCache  *Cache
 
+	// peers is the cluster fill hook (SetPeers); nil outside a cluster.
+	peers PeerFiller
+
 	start    time.Time
 	draining atomic.Bool
 
@@ -116,6 +119,8 @@ type Server struct {
 	cancelled  *obs.Counter
 	planErrors *obs.Counter
 	episodes   *obs.Counter
+	peerFilled *obs.Counter
+	peerMissed *obs.Counter
 }
 
 // New builds a Server from cfg and registers its metric set on the
@@ -142,7 +147,9 @@ func New(cfg Config) *Server {
 		cancelled: reg.Counter("cs_serve_cancelled_total", "requests abandoned by deadline or client disconnect"),
 		planErrors: reg.Counter("cs_serve_compute_errors_total",
 			"requests whose planning or simulation failed (unplannable life function, ...)"),
-		episodes: reg.Counter("cs_serve_episodes_simulated_total", "Monte-Carlo episodes run on behalf of /v1/estimate"),
+		episodes:   reg.Counter("cs_serve_episodes_simulated_total", "Monte-Carlo episodes run on behalf of /v1/estimate"),
+		peerFilled: reg.Counter(obs.Labeled("cs_serve_peer_fill_total", "outcome", "hit"), "cache misses satisfied by a cluster peer instead of local compute"),
+		peerMissed: reg.Counter(obs.Labeled("cs_serve_peer_fill_total", "outcome", "miss"), "cache misses no cluster peer could satisfy"),
 	}
 	s.pool = NewPool(cfg.Workers, cfg.Queue,
 		reg.Gauge("cs_serve_queue_depth", "requests queued or running in the worker pool"),
@@ -182,6 +189,13 @@ func (s *Server) instrument(route string, slo *obs.SLOTracker, h http.Handler) h
 	}
 	return obs.InstrumentHandler(s.reg, route, s.cfg.Tracer, slo, inner)
 }
+
+// BeginDrain flips only the draining flag: /v1/healthz starts
+// answering 503 so load balancers (the csgate prober) route around
+// this replica, while in-flight requests and peer-protocol traffic
+// keep being served. Call at the top of a graceful shutdown; Drain
+// closes the worker pool once the HTTP layer is done.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
 
 // Drain flips the server into draining mode (healthz answers 503 so
 // load balancers stop sending traffic) and, once the HTTP layer has
@@ -234,10 +248,14 @@ type PlanResponse struct {
 	TotalDuration float64    `json:"total_duration"`
 	ExpectedWork  float64    `json:"expected_work"`
 	Evaluations   int        `json:"evaluations"`
-	// Cached / Coalesced describe how this request was served; they are
-	// stamped per response and never stored in the cache entry.
-	Cached    bool `json:"cached"`
-	Coalesced bool `json:"coalesced"`
+	// Cached / Coalesced / PeerFilled describe how this request was
+	// served; they are stamped per response and never stored in the
+	// cache entry. PeerFilled marks a miss satisfied by a cluster peer's
+	// cache instead of local compute — a "fresh" computation is one
+	// where all three are false.
+	Cached     bool `json:"cached"`
+	Coalesced  bool `json:"coalesced"`
+	PeerFilled bool `json:"peer_filled"`
 	// ElapsedMS is the server-side time spent producing this response —
 	// for a cache hit, the lookup; for a miss, queueing plus planning.
 	ElapsedMS float64 `json:"elapsed_ms"`
@@ -257,10 +275,11 @@ type EstimateResponse struct {
 	ReclaimedFraction float64 `json:"reclaimed_fraction"`
 	// AnalyticE is E(S; p) from the planner when the policy is
 	// guideline — the model-vs-simulation comparison in one response.
-	AnalyticE *float64 `json:"analytic_expected_work,omitempty"`
-	Cached    bool     `json:"cached"`
-	Coalesced bool     `json:"coalesced"`
-	ElapsedMS float64  `json:"elapsed_ms"`
+	AnalyticE  *float64 `json:"analytic_expected_work,omitempty"`
+	Cached     bool     `json:"cached"`
+	Coalesced  bool     `json:"coalesced"`
+	PeerFilled bool     `json:"peer_filled"`
+	ElapsedMS  float64  `json:"elapsed_ms"`
 }
 
 // httpError is a JSON error payload.
@@ -350,6 +369,13 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	flightStart := time.Now()
 	flightObjs, flightBytes := obs.HeapAllocs()
 	v, shared, leader, err := s.flights.Do(ctx, key, func(runCtx context.Context) (any, error) {
+		// In a cluster, a miss first tries the key's previous holder —
+		// inside the singleflight, so N concurrent misses cause at most
+		// one peer fetch; only when no peer has it does local compute
+		// pay the full planning cost.
+		if resp, ok := s.peerFillPlan(runCtx, key); ok {
+			return resp, nil
+		}
 		var resp PlanResponse
 		var compErr error
 		if poolErr := s.pool.Do(runCtx, func(taskCtx context.Context) {
@@ -363,6 +389,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			return nil, compErr
 		}
 		s.planCache.Put(key, resp)
+		s.offerPeers(key, resp)
 		return resp, nil
 	})
 	if !leader {
@@ -440,6 +467,9 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	flightStart := time.Now()
 	flightObjs, flightBytes := obs.HeapAllocs()
 	v, shared, leader, err := s.flights.Do(ctx, key, func(runCtx context.Context) (any, error) {
+		if resp, ok := s.peerFillEstimate(runCtx, key); ok {
+			return resp, nil
+		}
 		var resp EstimateResponse
 		var compErr error
 		if poolErr := s.pool.Do(runCtx, func(taskCtx context.Context) {
@@ -453,6 +483,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			return nil, compErr
 		}
 		s.estCache.Put(key, resp)
+		s.offerPeers(key, resp)
 		return resp, nil
 	})
 	if !leader {

@@ -144,6 +144,15 @@ func (s PlanSpec) key() string {
 	return sb.String()
 }
 
+// Canonicalize returns the normalized spec — exported for the csgate
+// front tier and csload's client-side shard map, which must derive the
+// same cache key a replica will so consistent-hash routing and the
+// replica's cache agree on key identity.
+func (s PlanSpec) Canonicalize() (PlanSpec, error) { return s.normalize() }
+
+// Key returns the canonical cache key of a canonicalized spec.
+func (s PlanSpec) Key() string { return s.key() }
+
 // buildLife resolves the normalized spec to a life function, restoring
 // the defaults canonicalization zeroed (BuildLife validates the ones
 // that matter).
@@ -218,6 +227,15 @@ func (s EstimateSpec) key() string {
 	sb.WriteString(strconv.FormatUint(s.Seed, 10))
 	return sb.String()
 }
+
+// Canonicalize returns the normalized spec under the hard episode
+// ceiling (a router cannot know a replica's configured cap; a spec the
+// gate canonicalizes but the replica rejects is answered 4xx by the
+// replica either way).
+func (s EstimateSpec) Canonicalize() (EstimateSpec, error) { return s.normalize(MaxEpisodesLimit) }
+
+// Key returns the canonical cache key of a canonicalized spec.
+func (s EstimateSpec) Key() string { return s.key() }
 
 // parsePolicy resolves the normalized spec's policy against its life
 // function. The policy spec is validated before any pool work is
